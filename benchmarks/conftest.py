@@ -1,0 +1,52 @@
+"""Benchmark harness plumbing.
+
+Each bench runs one paper figure's experiment exactly once (these are
+deterministic simulations -- repetition adds nothing), prints the figure's
+rows, saves them under ``benchmarks/results/``, and fails if any of the
+paper's qualitative shape checks fail.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_PAPER_SCALE=1`` to use the paper-scale presets (slower).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _quick() -> bool:
+    return os.environ.get("REPRO_PAPER_SCALE", "0") != "1"
+
+
+@pytest.fixture
+def figure(benchmark):
+    """Returns a runner: ``figure("fig5c")`` executes the experiment under
+    pytest-benchmark, records the table, and asserts the shape checks."""
+
+    def run(name: str, seed: int = 1):
+        result = benchmark.pedantic(
+            run_experiment, args=(name,), kwargs={"quick": _quick(), "seed": seed},
+            rounds=1, iterations=1,
+        )
+        table = result.format()
+        print("\n" + table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+        benchmark.extra_info["checks_passed"] = sum(result.checks.values())
+        benchmark.extra_info["checks_total"] = len(result.checks)
+        assert result.ok, (
+            f"{name}: paper-shape checks failed: {result.failed_checks()}\n{table}"
+        )
+        return result
+
+    return run

@@ -1,0 +1,6 @@
+"""Fig. 10a: BFS single-node thread scaling
+(paper: linear to 4 cores, ~10% efficiency loss at 8)."""
+
+
+def test_fig10a_bfs_node(figure):
+    figure("fig10a")

@@ -1,0 +1,7 @@
+"""Fig. 10b: BFS thread scaling with multiple ranks
+(paper: fair locks give speedups; mutex does not; priority == ticket
+because the kernel only issues immediate MPI_Test calls)."""
+
+
+def test_fig10b_bfs_threads(figure):
+    figure("fig10b")

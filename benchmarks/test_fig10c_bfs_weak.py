@@ -1,0 +1,6 @@
+"""Fig. 10c: BFS weak scaling, 8 threads per rank
+(paper: ~2x improvement for fair locks)."""
+
+
+def test_fig10c_bfs_weak(figure):
+    figure("fig10c")

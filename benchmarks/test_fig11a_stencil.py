@@ -1,0 +1,7 @@
+"""Fig. 11a: 3D stencil strong scaling
+(paper: fair locks win for small per-core problems; convergence for
+large)."""
+
+
+def test_fig11a_stencil(figure):
+    figure("fig11a")

@@ -1,0 +1,6 @@
+"""Fig. 11b: stencil execution breakdown
+(paper: MPI share shrinks with problem size)."""
+
+
+def test_fig11b_stencil_breakdown(figure):
+    figure("fig11b")

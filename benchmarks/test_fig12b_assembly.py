@@ -1,0 +1,6 @@
+"""Fig. 12b: mini-SWAP assembly strong scaling
+(paper: ~2x speedup for fair locks, flat across core counts)."""
+
+
+def test_fig12b_assembly(figure):
+    figure("fig12b")

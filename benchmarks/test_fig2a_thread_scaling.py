@@ -1,0 +1,6 @@
+"""Fig. 2a: multithreaded throughput vs message size under the mutex --
+degradation proportional to thread count (paper: up to 4x)."""
+
+
+def test_fig2a_thread_scaling(figure):
+    figure("fig2a")

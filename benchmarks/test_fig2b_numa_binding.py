@@ -1,0 +1,6 @@
+"""Fig. 2b: compact vs scatter thread binding under the mutex --
+NUMA amplifies runtime contention (paper: scatter 1.5-2x worse)."""
+
+
+def test_fig2b_numa_binding(figure):
+    figure("fig2b")

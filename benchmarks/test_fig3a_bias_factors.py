@@ -1,0 +1,6 @@
+"""Fig. 3a: arbitration bias factors from lock traces
+(paper: ~2x core-level, ~1.25x socket-level)."""
+
+
+def test_fig3a_bias_factors(figure):
+    figure("fig3a")

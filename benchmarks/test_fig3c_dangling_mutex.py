@@ -1,0 +1,6 @@
+"""Fig. 3c: dangling-request profile under the mutex
+(paper: high counts due to starving windows)."""
+
+
+def test_fig3c_dangling_mutex(figure):
+    figure("fig3c")

@@ -1,0 +1,6 @@
+"""Fig. 5a: dangling requests, mutex vs ticket
+(paper: ticket keeps them very low)."""
+
+
+def test_fig5a_dangling_ticket(figure):
+    figure("fig5a")

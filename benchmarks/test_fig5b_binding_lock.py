@@ -1,0 +1,7 @@
+"""Fig. 5b: 1-byte throughput by binding and thread count
+(paper: ticket +68% at 4 threads compact; slight loss at 2 threads
+scatter; benefit grows with concurrency)."""
+
+
+def test_fig5b_binding_lock(figure):
+    figure("fig5b")

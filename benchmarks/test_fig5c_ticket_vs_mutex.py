@@ -1,0 +1,6 @@
+"""Fig. 5c: message-size sweep at 8 threads, ticket vs mutex
+(paper: +30% below 4 KiB, converging by 32 KiB)."""
+
+
+def test_fig5c_ticket_vs_mutex(figure):
+    figure("fig5c")

@@ -1,0 +1,6 @@
+"""Fig. 6b: N2N all-to-all, ticket vs priority lock
+(paper: priority +33% below 32 KiB; here direction + mechanism)."""
+
+
+def test_fig6b_n2n_priority(figure):
+    figure("fig6b")

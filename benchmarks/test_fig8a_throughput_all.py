@@ -1,0 +1,6 @@
+"""Fig. 8a: throughput for single/mutex/ticket/priority at 8 threads
+(paper: ticket ~ priority > mutex, all below single-threaded)."""
+
+
+def test_fig8a_throughput_all(figure):
+    figure("fig8a")

@@ -1,0 +1,6 @@
+"""Fig. 8b: latency for all methods (paper: ticket up to 3.5x lower
+than mutex; multithreaded beats single-threaded for large messages)."""
+
+
+def test_fig8b_latency_all(figure):
+    figure("fig8b")

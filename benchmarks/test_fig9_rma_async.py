@@ -1,0 +1,6 @@
+"""Fig. 9: RMA put/get/accumulate with async progress
+(paper: up to 5x over mutex; progress-thread monopolization)."""
+
+
+def test_fig9_rma_async(figure):
+    figure("fig9")

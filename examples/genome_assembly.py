@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Mini-SWAP distributed genome assembly (paper 6.3).
+
+Generates synthetic reads, distributes k-mers to owner ranks with the
+SWAP thread structure (per rank: one sending thread + one receiving
+thread, blocking MPI), and reports the end-to-end time per locking
+method -- the paper's "2x speedup with no application change".
+
+    python examples/genome_assembly.py [--reads 4000] [--nodes 2]
+"""
+
+import argparse
+
+from repro.analysis import format_table
+from repro.mpi import Cluster, ClusterConfig
+from repro.workloads.assembly import AssemblyConfig, run_assembly
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--reads", type=int, default=4000)
+    ap.add_argument("--genome", type=int, default=16000)
+    ap.add_argument("--k", type=int, default=21)
+    ap.add_argument("--nodes", type=int, default=2)
+    ap.add_argument("--ranks-per-node", type=int, default=4)
+    ap.add_argument("--locks", nargs="+",
+                    default=["mutex", "ticket", "priority"])
+    ap.add_argument("--seed", type=int, default=1)
+    args = ap.parse_args()
+
+    cfg = AssemblyConfig(
+        genome_length=args.genome, n_reads=args.reads, k=args.k, batch_size=8,
+    )
+    rows = []
+    base = None
+    for lock in args.locks:
+        cluster = Cluster(ClusterConfig(
+            n_nodes=args.nodes, ranks_per_node=args.ranks_per_node,
+            threads_per_rank=2, lock=lock, seed=args.seed,
+        ))
+        res = run_assembly(cluster, cfg)
+        if base is None:
+            base = res.elapsed_s
+        rows.append([
+            lock, f"{res.elapsed_s * 1e3:.2f}",
+            res.distinct_kmers, res.branching_kmers,
+            res.unitig_upper_bound, f"{base / res.elapsed_s:.2f}x",
+        ])
+    print(format_table(
+        ["lock", "time (ms)", "distinct k-mers", "branching",
+         "unitigs (<=)", f"vs {args.locks[0]}"],
+        rows,
+        title=f"mini-SWAP assembly: {args.reads} reads, k={args.k}, "
+              f"{args.nodes} nodes x {args.ranks_per_node} ranks x 2 threads",
+    ))
+    print("\nEach rank runs a sender thread (main path) and a receiver "
+          "thread\n(progress loop); fair arbitration between just these "
+          "two threads\nis the whole speedup -- no application change.")
+
+
+if __name__ == "__main__":
+    main()

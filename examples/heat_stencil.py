@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""3D heat-equation stencil with per-thread halo exchange.
+
+Runs the paper's 6.2.2 hybrid stencil (every thread independently
+exchanges its own halos each iteration) and prints GFlops plus the
+Fig. 11b-style execution breakdown for each locking method.
+
+    python examples/heat_stencil.py [--extent 32] [--ranks 4] [--threads 8]
+"""
+
+import argparse
+
+from repro.analysis import format_table
+from repro.mpi import Cluster, ClusterConfig
+from repro.workloads.stencil import StencilConfig, run_stencil
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--extent", type=int, default=32,
+                    help="global cubic domain edge length")
+    ap.add_argument("--iterations", type=int, default=8)
+    ap.add_argument("--ranks", type=int, default=4)
+    ap.add_argument("--threads", type=int, default=8)
+    ap.add_argument("--locks", nargs="+",
+                    default=["mutex", "ticket", "priority"])
+    ap.add_argument("--seed", type=int, default=1)
+    args = ap.parse_args()
+
+    cfg = StencilConfig(
+        n=(args.extent, args.extent, args.extent),
+        iterations=args.iterations,
+    )
+    rows = []
+    for lock in args.locks:
+        cluster = Cluster(ClusterConfig(
+            n_nodes=args.ranks, threads_per_rank=args.threads,
+            lock=lock, seed=args.seed,
+        ))
+        res = run_stencil(cluster, cfg)
+        pct = res.breakdown.percentages()
+        rows.append([
+            lock, f"{res.gflops:.2f}",
+            f"{pct.get('mpi', 0):.0f}%",
+            f"{pct.get('compute', 0):.0f}%",
+            f"{pct.get('sync', 0):.0f}%",
+            f"{res.elapsed_s * 1e3:.2f}",
+        ])
+    print(format_table(
+        ["lock", "GFlops", "MPI", "compute", "OMP sync", "time (ms)"],
+        rows,
+        title=f"3D 7-point stencil, {args.extent}^3 domain, "
+              f"{args.ranks} ranks x {args.threads} threads, "
+              f"{args.iterations} iterations",
+    ))
+    print("\nSmall domains are communication-bound: fair arbitration wins."
+          "\nGrow --extent and the methods converge (computation dominates).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` to fall back
+to the legacy ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

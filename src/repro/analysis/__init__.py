@@ -1,0 +1,30 @@
+"""Instrumentation and estimators: bias factors, dangling requests,
+performance metrics, and report formatting."""
+
+from .bias import BiasFactors, compute_bias_factors
+from .dangling import DanglingProfiler, DanglingStats
+from .lock_report import (
+    LockUsage,
+    analyze_lock_usage,
+    transition_histogram,
+    wasted_acquisition_fraction,
+)
+from .metrics import TimeBreakdown, message_rate_k, speedup
+from .report import format_rate, format_size, format_table
+
+__all__ = [
+    "BiasFactors",
+    "compute_bias_factors",
+    "DanglingProfiler",
+    "DanglingStats",
+    "LockUsage",
+    "analyze_lock_usage",
+    "transition_histogram",
+    "wasted_acquisition_fraction",
+    "TimeBreakdown",
+    "message_rate_k",
+    "speedup",
+    "format_table",
+    "format_size",
+    "format_rate",
+]

@@ -1,0 +1,84 @@
+"""ASCII line charts for terminal-only environments.
+
+Renders the paper figures' series (message-size sweeps, thread
+scalings) as log-log scatter charts so a reproduction run can be
+eyeballed without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(v: float, log: bool) -> float:
+    if log:
+        if v <= 0:
+            raise ValueError(f"log-scale value must be positive, got {v}")
+        return math.log10(v)
+    return v
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = True,
+    logy: bool = True,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series on one chart.
+
+    Each series gets a marker from ``oxX*#@%&`` (legend below the axes);
+    overlapping points show the *last* series' marker.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small")
+    pts = [
+        (name, x, y) for name, sv in series.items() for x, y in sv
+    ]
+    if not pts:
+        raise ValueError("series contain no points")
+
+    xs = [_transform(x, logx) for _, x, _ in pts]
+    ys = [_transform(y, logy) for _, _, y in pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    markers = {name: _MARKERS[i % len(_MARKERS)]
+               for i, name in enumerate(series)}
+    for name, x, y in pts:
+        cx = round((_transform(x, logx) - xmin) / xspan * (width - 1))
+        cy = round((_transform(y, logy) - ymin) / yspan * (height - 1))
+        grid[height - 1 - cy][cx] = markers[name]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_hi = f"{10 ** ymax:.3g}" if logy else f"{ymax:.3g}"
+    y_lo = f"{10 ** ymin:.3g}" if logy else f"{ymin:.3g}"
+    label_w = max(len(y_hi), len(y_lo))
+    for i, row in enumerate(grid):
+        label = y_hi if i == 0 else (y_lo if i == height - 1 else "")
+        lines.append(f"{label.rjust(label_w)} |{''.join(row)}")
+    x_lo = f"{10 ** xmin:.3g}" if logx else f"{xmin:.3g}"
+    x_hi = f"{10 ** xmax:.3g}" if logx else f"{xmax:.3g}"
+    lines.append(" " * label_w + " +" + "-" * width)
+    lines.append(
+        " " * label_w + "  " + x_lo + x_hi.rjust(width - len(x_lo))
+    )
+    if xlabel or ylabel:
+        lines.append(f"   x: {xlabel}   y: {ylabel}".rstrip())
+    lines.append("   " + "   ".join(f"{m} {n}" for n, m in markers.items()))
+    return "\n".join(lines)

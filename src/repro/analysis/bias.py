@@ -1,0 +1,88 @@
+"""Arbitration-fairness estimators (paper 4.3).
+
+Given a lock acquisition trace, estimate
+
+* ``Pc`` -- probability that the *same thread* reacquires the lock in
+  consecutive acquisitions (core level), and
+* ``Ps`` -- probability that consecutive owners run on the *same socket*,
+
+for the observed arbitration, and the same quantities for a hypothetical
+fair arbitration over the threads that were actually waiting:
+
+.. math::
+
+    P_c = \\frac{1}{L}\\sum_l X_l \\qquad P_s = \\frac{1}{L}\\sum_l Y_l
+
+observed:  X_l = [\\text{same owner as } l-1],\\;
+Y_l = [\\text{same socket as } l-1]
+
+fair:      X_l = 1/T_l,\\;  Y_l = T_{j,l}/T_l
+
+with ``T_l`` the waiting-thread count at acquisition ``l`` and ``T_{j,l}``
+the count on the previous owner's socket.  The **bias factor** is the
+ratio observed/fair; a fair lock scores 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..locks.stats import LockTrace
+
+__all__ = ["BiasFactors", "compute_bias_factors"]
+
+
+@dataclass(frozen=True)
+class BiasFactors:
+    """Result of the 4.3 fairness analysis on one trace."""
+
+    pc_observed: float
+    ps_observed: float
+    pc_fair: float
+    ps_fair: float
+    n_samples: int
+
+    @property
+    def core_bias(self) -> float:
+        """Observed/fair same-thread reacquisition ratio (paper: ~2x)."""
+        return self.pc_observed / self.pc_fair if self.pc_fair > 0 else float("nan")
+
+    @property
+    def socket_bias(self) -> float:
+        """Observed/fair same-socket ratio (paper: ~1.25x)."""
+        return self.ps_observed / self.ps_fair if self.ps_fair > 0 else float("nan")
+
+
+def compute_bias_factors(trace: LockTrace, min_contenders: int = 2) -> BiasFactors:
+    """Estimate bias factors from ``trace``.
+
+    ``min_contenders`` restricts the sample to acquisitions where at
+    least that many threads were contending -- with a single requester
+    both arbitrations trivially pick it, which would dilute the ratio.
+    """
+    a = trace.as_arrays()
+    tids, sockets = a["tids"], a["sockets"]
+    T = a["n_contenders"]
+    T_prev_sock = a["n_contenders_prev_socket"]
+    if len(tids) < 2:
+        raise ValueError("trace too short for bias analysis")
+
+    # Acquisition l is compared with l-1; use samples l = 1..L-1.
+    same_tid = (tids[1:] == tids[:-1]).astype(np.float64)
+    same_sock = (sockets[1:] == sockets[:-1]).astype(np.float64)
+    Tl = T[1:].astype(np.float64)
+    Tjl = T_prev_sock[1:].astype(np.float64)
+
+    mask = Tl >= min_contenders
+    n = int(mask.sum())
+    if n == 0:
+        raise ValueError(
+            f"no acquisitions with >= {min_contenders} contenders in trace"
+        )
+    pc_obs = float(same_tid[mask].mean())
+    ps_obs = float(same_sock[mask].mean())
+    pc_fair = float((1.0 / Tl[mask]).mean())
+    ps_fair = float((Tjl[mask] / Tl[mask]).mean())
+    return BiasFactors(pc_obs, ps_obs, pc_fair, ps_fair, n)

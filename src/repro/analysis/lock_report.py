@@ -1,0 +1,88 @@
+"""Deeper lock-trace analysis: utilization, hand-off transitions, and
+wasted runtime acquisitions.
+
+Complements the paper's bias factors with the quantities discussed in
+7: how often the lock actually changes hands (and across what
+distance), how busy the critical section is, and how many acquisitions
+did no useful work (empty progress polls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..locks.stats import LockTrace
+from ..mpi.runtime import RuntimeStats
+
+__all__ = [
+    "LockUsage",
+    "analyze_lock_usage",
+    "transition_histogram",
+    "wasted_acquisition_fraction",
+]
+
+
+@dataclass(frozen=True)
+class LockUsage:
+    n_acquisitions: int
+    #: Fraction of the traced wall-span the lock was held.
+    utilization: float
+    mean_hold_s: float
+    #: Mean time from one release to the next grant.
+    mean_gap_s: float
+    #: Transition counts keyed "same-thread" / "same-socket" / "cross-socket".
+    transitions: Dict[str, int]
+
+
+def transition_histogram(trace: LockTrace) -> Dict[str, int]:
+    """Consecutive-acquisition transitions by distance class."""
+    tids = np.asarray(trace.tids)
+    socks = np.asarray(trace.sockets)
+    if len(tids) < 2:
+        return {"same-thread": 0, "same-socket": 0, "cross-socket": 0}
+    same_tid = tids[1:] == tids[:-1]
+    same_sock = socks[1:] == socks[:-1]
+    return {
+        "same-thread": int(same_tid.sum()),
+        "same-socket": int((~same_tid & same_sock).sum()),
+        "cross-socket": int((~same_sock).sum()),
+    }
+
+
+def analyze_lock_usage(trace: LockTrace) -> LockUsage:
+    """Utilization and hand-off statistics for a completed trace."""
+    if len(trace) == 0:
+        raise ValueError("empty lock trace")
+    a = trace.as_arrays()
+    n = len(a["hold_times"])
+    if n == 0:
+        raise ValueError("no completed holds in trace")
+    grants = a["times"][:n]
+    holds = a["hold_times"]
+    releases = grants + holds
+    span = releases[-1] - grants[0]
+    gaps = grants[1:] - releases[:-1] if n > 1 else np.array([0.0])
+    return LockUsage(
+        n_acquisitions=len(trace),
+        utilization=float(holds.sum() / span) if span > 0 else 1.0,
+        mean_hold_s=float(holds.mean()),
+        mean_gap_s=float(gaps.mean()),
+        transitions=transition_histogram(trace),
+    )
+
+
+def wasted_acquisition_fraction(stats: RuntimeStats) -> float:
+    """Fraction of critical-section entries that did no useful work.
+
+    An *empty poll* is a progress-engine invocation that found no
+    packets: the thread paid a full acquire/release cycle for nothing --
+    the waste the paper's priority lock (and the event-driven wait mode)
+    target.
+    """
+    total = stats.cs_entries_main + stats.cs_entries_progress
+    if total == 0:
+        return 0.0
+    return stats.empty_polls / total

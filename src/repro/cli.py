@@ -1,0 +1,138 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                     # experiments and what they show
+    python -m repro run fig5c                # run one figure, print its table
+    python -m repro run all                  # run everything
+    python -m repro locks                    # available locking methods
+    python -m repro spec                     # Table 1 machine specification
+    python -m repro throughput --lock ticket --threads 8 --size 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import format_table
+from .experiments import EXPERIMENTS, run_experiment
+from .experiments.registry import EXPERIMENT_TITLES
+from .locks import LOCK_CLASSES
+from .machine import MachineSpec
+
+__all__ = ["main"]
+
+
+def _cmd_list(args) -> int:
+    rows = [
+        [name, EXPERIMENT_TITLES.get(name, "")] for name in EXPERIMENTS
+    ]
+    print(format_table(["experiment", "reproduces"], rows,
+                       title="Reproduced tables and figures"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    names = list(EXPERIMENTS) if args.name == "all" else [args.name]
+    if args.name != "all" and args.name not in EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    failed = []
+    for name in names:
+        res = run_experiment(name, quick=not args.paper, seed=args.seed)
+        print(res.format())
+        print()
+        if not res.ok:
+            failed.append(name)
+    if failed:
+        print(f"shape checks FAILED for: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_locks(args) -> int:
+    rows = []
+    for name, cls in LOCK_CLASSES.items():
+        doc = (cls.__doc__ or "").strip().splitlines()
+        rows.append([name, cls.__name__, doc[0] if doc else ""])
+    print(format_table(["name", "class", "description"], rows,
+                       title="Critical-section arbitration methods"))
+    return 0
+
+
+def _cmd_spec(args) -> int:
+    spec = MachineSpec()
+    rows = [
+        ["Architecture", spec.architecture],
+        ["Processor", spec.processor],
+        ["Clock frequency", f"{spec.clock_ghz} GHz"],
+        ["Number of sockets", spec.n_sockets],
+        ["Cores per socket", spec.cores_per_socket],
+        ["L3 Size", f"{spec.l3_kib} KB"],
+        ["L2 Size", f"{spec.l2_kib} KB"],
+        ["Interconnect", spec.interconnect],
+    ]
+    print(format_table(["property", "value"], rows,
+                       title="Simulated testbed (paper Table 1)"))
+    return 0
+
+
+def _cmd_throughput(args) -> int:
+    from .workloads import ThroughputConfig, run_throughput, throughput_cluster
+
+    cluster = throughput_cluster(
+        lock=args.lock, threads_per_rank=args.threads,
+        binding=args.binding, seed=args.seed,
+    )
+    res = run_throughput(cluster, ThroughputConfig(
+        msg_size=args.size, n_windows=args.windows))
+    print(format_table(
+        ["lock", "threads", "size (B)", "rate (10^3 msg/s)", "avg dangling"],
+        [[args.lock, args.threads, args.size,
+          f"{res.msg_rate_k:.0f}", f"{res.dangling.mean:.1f}"]],
+        title="pt2pt throughput",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'MPI+Threads: Runtime Contention and "
+                    "Remedies' (PPoPP'15)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproduced figures").set_defaults(fn=_cmd_list)
+
+    run_p = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_p.add_argument("name")
+    run_p.add_argument("--paper", action="store_true",
+                       help="paper-scale parameters (slow)")
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.set_defaults(fn=_cmd_run)
+
+    sub.add_parser("locks", help="list locking methods").set_defaults(fn=_cmd_locks)
+    sub.add_parser("spec", help="print the Table-1 machine spec").set_defaults(fn=_cmd_spec)
+
+    tp = sub.add_parser("throughput", help="ad-hoc throughput run")
+    tp.add_argument("--lock", choices=sorted(LOCK_CLASSES), default="mutex")
+    tp.add_argument("--threads", type=int, default=8)
+    tp.add_argument("--size", type=int, default=8)
+    tp.add_argument("--windows", type=int, default=6)
+    tp.add_argument("--binding", choices=("compact", "scatter"), default="compact")
+    tp.add_argument("--seed", type=int, default=1)
+    tp.set_defaults(fn=_cmd_throughput)
+    return ap
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""One runner per reproduced paper figure.
+
+Each runner returns an :class:`~repro.experiments.base.ExperimentResult`
+with the figure's rows/series, plus shape checks encoding the paper's
+qualitative claims.  ``repro.experiments.run_experiment("fig5c")`` runs
+one; the ``benchmarks/`` suite runs them all and prints the tables.
+"""
+
+from .base import ExperimentResult
+from .config import PAPER, QUICK, Preset, preset
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "Preset",
+    "QUICK",
+    "PAPER",
+    "preset",
+    "EXPERIMENTS",
+    "run_experiment",
+]

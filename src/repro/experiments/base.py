@@ -1,0 +1,47 @@
+"""Common experiment scaffolding.
+
+Every ``figXX`` module exposes ``run(quick=True, seed=...) ->
+ExperimentResult``: the rows the paper's figure plots, plus *shape
+checks* -- assertions about who wins and by roughly what factor, which is
+what a simulator-based reproduction can and should promise (absolute
+numbers depend on the authors' testbed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..analysis.report import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    #: name -> passed; each check encodes one qualitative paper claim.
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    #: Raw series for programmatic consumers.
+    data: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(self.checks.values())
+
+    def failed_checks(self) -> List[str]:
+        return [k for k, v in self.checks.items() if not v]
+
+    def format(self) -> str:
+        out = [format_table(self.headers, self.rows, title=f"[{self.exp_id}] {self.title}")]
+        if self.checks:
+            out.append("shape checks:")
+            for name, passed in self.checks.items():
+                out.append(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+        for n in self.notes:
+            out.append(f"note: {n}")
+        return "\n".join(out)

@@ -1,0 +1,73 @@
+"""Experiment presets.
+
+``quick`` presets run each figure in seconds on a laptop; ``paper``
+presets use the paper's parameters (message sizes to 1 MiB, BFS scales in
+the 20s, the full thread grid) and take correspondingly longer.  Both use
+the same calibrated :class:`~repro.machine.CostModel` defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Preset", "QUICK", "PAPER"]
+
+
+@dataclass(frozen=True)
+class Preset:
+    #: Message-size ladder for pt2pt figures (bytes).
+    sizes: Tuple[int, ...]
+    #: Windows per thread in the throughput benchmark.
+    n_windows: int
+    #: Ping-pong iterations per thread in the latency benchmark.
+    latency_iters: int
+    #: N2N rounds (window * n_windows).
+    n2n_window: int
+    n2n_windows: int
+    #: RMA ops per configuration.
+    rma_ops: int
+    #: BFS graph scales.
+    bfs_scale_single: int
+    bfs_scale_multi: int
+    #: Stencil local domains (cubed extents) for the strong-scaling sweep.
+    stencil_extents: Tuple[int, ...]
+    stencil_iters: int
+    #: Assembly workload size.
+    asm_reads: int
+    asm_genome: int
+
+
+QUICK = Preset(
+    sizes=(1, 16, 256, 4096, 65536),
+    n_windows=4,
+    latency_iters=30,
+    n2n_window=8,
+    n2n_windows=2,
+    rma_ops=32,
+    bfs_scale_single=14,
+    bfs_scale_multi=14,
+    stencil_extents=(16, 32, 64),
+    stencil_iters=6,
+    asm_reads=2000,
+    asm_genome=8000,
+)
+
+PAPER = Preset(
+    sizes=(1, 16, 256, 4096, 65536, 1048576),
+    n_windows=16,
+    latency_iters=200,
+    n2n_window=32,
+    n2n_windows=4,
+    rma_ops=256,
+    bfs_scale_single=20,
+    bfs_scale_multi=18,
+    stencil_extents=(16, 32, 64, 128),
+    stencil_iters=20,
+    asm_reads=20000,
+    asm_genome=80000,
+)
+
+
+def preset(quick: bool) -> Preset:
+    return QUICK if quick else PAPER

@@ -1,0 +1,200 @@
+"""Lock framework: the common contract for simulated critical sections.
+
+A :class:`SimLock` arbitrates a critical section among simulated threads.
+``acquire`` is a *generator* (it yields simulator events and returns once
+the lock is held), so lock protocols compose: the paper's priority lock
+(Fig. 7) is literally three ticket locks composed in the acquiring thread's
+context.
+
+Locks charge time through the :class:`~repro.machine.CostModel`: atomic
+RMW latency depends on where the lock's cache line currently lives, and
+hand-off latency on the distance between releaser and the next owner --
+the two NUMA effects the paper analyses.
+"""
+
+from __future__ import annotations
+
+import enum
+from itertools import count
+from typing import Callable, Dict, List, Optional
+
+from ..machine.costs import NS, CostModel
+from ..machine.threads import ThreadCtx
+from ..machine.topology import Core, Proximity
+from .stats import LockTrace
+
+__all__ = ["Priority", "SimLock", "NullLock", "LockError"]
+
+_lock_ids = count()
+
+
+class Priority(enum.IntEnum):
+    """Arbitration priority hint (only the priority lock honours it).
+
+    The MPI runtime enters at HIGH on the main path and drops to LOW in
+    the progress loop (paper 5.2).
+    """
+
+    HIGH = 0
+    LOW = 1
+
+
+class LockError(RuntimeError):
+    """Protocol violation (double release, release by non-holder, ...)."""
+
+
+class SimLock:
+    """Base class: contention bookkeeping, trace recording, grant hooks."""
+
+    #: If True, release() must be called by the owning thread.
+    strict_owner = True
+    #: If True, a thread may queue on the lock while the stale owner
+    #: marker points at it (needed for the priority lock's B ticket,
+    #: whose ownership belongs to a priority *class*, not a thread).
+    allow_owner_reentry = False
+
+    def __init__(
+        self,
+        sim,
+        costs: CostModel,
+        name: str = "",
+        trace: Optional[LockTrace] = None,
+    ):
+        self.sim = sim
+        self.costs = costs
+        self.lock_id = next(_lock_ids)
+        self.name = name or f"{type(self).__name__}#{self.lock_id}"
+        self.trace = trace
+        self.owner: Optional[ThreadCtx] = None
+        #: Cache line home: core of the last thread that touched the lock word.
+        self.line_owner: Optional[Core] = None
+        self._contenders: Dict[int, ThreadCtx] = {}
+        self._grant_time: float = 0.0
+        #: Hooks ``cb(lock, ctx)`` invoked on every successful acquisition.
+        self.on_grant: List[Callable] = []
+        # Keyed by name (stable across runs), not the global lock_id:
+        # experiment results must not depend on what ran earlier in the
+        # process.
+        self._rng = sim.rng.stream(f"lock:{self.name}")
+
+    # ------------------------------------------------------------------
+    # Protocol to implement
+    # ------------------------------------------------------------------
+    def acquire(self, ctx: ThreadCtx, priority: Priority = Priority.HIGH):
+        """Generator: yields events until the calling thread owns the lock."""
+        raise NotImplementedError
+
+    def release(self, ctx: ThreadCtx) -> float:
+        """Give up the lock.
+
+        Synchronous: the lock is free when this returns.  The return
+        value is the *releaser-side* cost in seconds (e.g. the
+        ``FUTEX_WAKE`` syscall a contended mutex unlock performs); the
+        caller charges it to the releasing thread.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared machinery for subclasses
+    # ------------------------------------------------------------------
+    @property
+    def n_contenders(self) -> int:
+        """Threads currently inside acquire() (including an owner-to-be)."""
+        return len(self._contenders)
+
+    def contention_factor(self) -> float:
+        """Slowdown multiplier for the current holder's in-CS work.
+
+        Each waiter adds ``contention_penalty``; waiters on a different
+        socket than the holder add ``contention_penalty *
+        contention_remote_factor`` (their retries cross the socket
+        interconnect).  1.0 when uncontended.
+        """
+        owner = self.owner
+        if owner is None or not self._contenders:
+            return 1.0
+        pen = self.costs.contention_penalty
+        remote = self.costs.contention_remote_factor
+        f = 1.0
+        for c in self._contenders.values():
+            f += pen * (remote if c.socket != owner.socket else 1.0)
+        return f
+
+    def _jitter(self) -> float:
+        """Exponential jitter on atomic-op completion, in seconds."""
+        scale = self.costs.jitter_ns
+        if scale <= 0.0:
+            return 0.0
+        return float(self._rng.exponential(scale)) * NS
+
+    def _atomic_cost(self, core: Core) -> float:
+        """Atomic RMW latency for ``core``, moving the line to it."""
+        if self.line_owner is None:
+            prox = Proximity.SAME_CORE
+        else:
+            prox = core.proximity(self.line_owner)
+        return self.costs.atomic(prox) + self._jitter()
+
+    def _handoff_cost(self, from_core: Core, to_core: Core) -> float:
+        return self.costs.handoff(to_core.proximity(from_core))
+
+    def _enter(self, ctx: ThreadCtx) -> None:
+        if ctx.tid in self._contenders:
+            raise LockError(f"{ctx!r} already contending for {self.name}")
+        if (
+            self.owner is not None
+            and self.owner.tid == ctx.tid
+            and not self.allow_owner_reentry
+        ):
+            # A real non-reentrant lock would deadlock here; surface the
+            # model bug instead.
+            raise LockError(
+                f"{ctx.name} re-acquiring {self.name} it already holds"
+            )
+        self._contenders[ctx.tid] = ctx
+
+    def _grant(self, ctx: ThreadCtx) -> None:
+        if self.owner is not None:
+            raise LockError(
+                f"grant to {ctx.name} while {self.owner.name} holds {self.name}"
+            )
+        self.owner = ctx
+        self._grant_time = self.sim.now
+        if self.trace is not None:
+            self.trace.record_grant(self.sim.now, ctx, self._contenders)
+        del self._contenders[ctx.tid]
+        for cb in self.on_grant:
+            cb(self, ctx)
+
+    def _release_checks(self, ctx: ThreadCtx) -> None:
+        if self.owner is None:
+            raise LockError(f"release of unheld lock {self.name} by {ctx.name}")
+        if self.strict_owner and self.owner.tid != ctx.tid:
+            raise LockError(
+                f"{ctx.name} released {self.name} held by {self.owner.name}"
+            )
+        if self.trace is not None:
+            self.trace.record_release(self.sim.now, self._grant_time)
+        self.owner = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        holder = self.owner.name if self.owner else "-"
+        return f"<{type(self).__name__} {self.name} owner={holder} contenders={self.n_contenders}>"
+
+
+class NullLock(SimLock):
+    """Zero-cost lock for MPI_THREAD_SINGLE runs (no arbitration at all).
+
+    Mutual exclusion is still asserted -- a single-threaded run must never
+    actually contend.
+    """
+
+    def acquire(self, ctx: ThreadCtx, priority: Priority = Priority.HIGH):
+        self._enter(ctx)
+        self._grant(ctx)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def release(self, ctx: ThreadCtx) -> float:
+        self._release_checks(ctx)
+        return 0.0

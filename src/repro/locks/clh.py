@@ -1,0 +1,60 @@
+"""The CLH queue lock (Craig; Landin & Hagersten).
+
+FIFO like MCS, but each waiter spins on its *predecessor's* node flag:
+entry is one atomic swap on the tail; release is a store to the
+releaser's own node, observed by the successor after one line transfer.
+Included for the related-work comparison (paper 8): in this model its
+behaviour differs from MCS only in which line carries the hand-off,
+so their performance is near-identical -- as on real hardware.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from ..machine.threads import ThreadCtx
+from .base import Priority, SimLock
+
+__all__ = ["CLHLock"]
+
+
+class CLHLock(SimLock):
+    """Queue lock spinning on the predecessor's node."""
+
+    strict_owner = False
+
+    def __init__(self, sim, costs, name: str = "", trace=None):
+        super().__init__(sim, costs, name=name, trace=trace)
+        #: FIFO of (grant event, ctx); the implicit head is the owner.
+        self._queue: Deque[Tuple[object, ThreadCtx]] = deque()
+        self._tail_occupied = False
+
+    @property
+    def n_queued(self) -> int:
+        return len(self._queue)
+
+    def acquire(self, ctx: ThreadCtx, priority: Priority = Priority.HIGH):
+        self._enter(ctx)
+        # Atomic swap of the tail pointer to this thread's node.
+        yield self.sim.timeout(self._atomic_cost(ctx.core))
+        self.line_owner = ctx.core
+        if not self._tail_occupied:
+            self._tail_occupied = True
+            self._grant(ctx)
+            return
+        ev = self.sim.event(name=f"clh:{self.name}:{ctx.name}")
+        self._queue.append((ev, ctx))
+        yield ev
+        self._grant(ctx)
+
+    def release(self, ctx: ThreadCtx) -> float:
+        self._release_checks(ctx)
+        if self._queue:
+            ev, wctx = self._queue.popleft()
+            # Successor spins on the releaser's node: the hand-off store
+            # travels releaser -> successor.
+            self.sim.call_at(self._handoff_cost(ctx.core, wctx.core), ev.succeed)
+        else:
+            self._tail_occupied = False
+        return 0.0

@@ -1,0 +1,102 @@
+"""A NUMA-aware cohort lock with bounded same-socket handover.
+
+The paper's 7 discusses a socket-aware arbitration that prefers
+same-socket waiters to cut intersocket hand-offs, and predicts it "may
+lead to starvation" under polling workloads --
+:class:`~repro.locks.priority.SocketAwareLock` reproduces that failure.
+Lock cohorting (Dice, Marathe & Shavit, PPoPP'12) is the principled fix:
+keep the lock within the releaser's socket, but only for at most
+``max_handover`` consecutive local hand-offs, after which it *must*
+cross to the other socket's FIFO.  This bounds remote-waiter delay while
+still batching the expensive intersocket transfers -- exactly the
+"future work" direction the paper closes with.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+from ..machine.threads import ThreadCtx
+from .base import Priority, SimLock
+
+__all__ = ["CohortTicketLock"]
+
+
+class CohortTicketLock(SimLock):
+    """Per-socket FIFO queues with bounded local handover."""
+
+    #: Consecutive same-socket hand-offs before the lock must migrate.
+    max_handover = 8
+
+    def __init__(self, sim, costs, name: str = "", trace=None,
+                 max_handover: int | None = None):
+        super().__init__(sim, costs, name=name, trace=trace)
+        if max_handover is not None:
+            if max_handover < 1:
+                raise ValueError("max_handover must be >= 1")
+            self.max_handover = max_handover
+        #: socket -> FIFO of (arrival_seq, event, ctx)
+        self._queues: Dict[int, Deque[Tuple[int, object, ThreadCtx]]] = {}
+        self._held = False
+        self._local_streak = 0
+        self._arrival_seq = 0
+        # Diagnostics
+        self.local_handoffs = 0
+        self.remote_handoffs = 0
+
+    @property
+    def n_queued(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def acquire(self, ctx: ThreadCtx, priority: Priority = Priority.HIGH):
+        self._enter(ctx)
+        # Atomic on the socket-local queue tail (line usually local).
+        yield self.sim.timeout(self._atomic_cost(ctx.core))
+        self.line_owner = ctx.core
+        if not self._held:
+            self._held = True
+            self._grant(ctx)
+            return
+        ev = self.sim.event(name=f"cohort:{self.name}:{ctx.name}")
+        self._queues.setdefault(ctx.socket, deque()).append(
+            (self._arrival_seq, ev, ctx)
+        )
+        self._arrival_seq += 1
+        yield ev
+        self._grant(ctx)
+
+    def _pick_next(self, releaser: ThreadCtx):
+        """Next owner: same socket while the streak allows and a local
+        waiter exists; otherwise the longest-waiting other socket."""
+        local = self._queues.get(releaser.socket)
+        others = [
+            (sock, q) for sock, q in self._queues.items()
+            if sock != releaser.socket and q
+        ]
+        if local and self._local_streak < self.max_handover:
+            self._local_streak += 1
+            self.local_handoffs += 1
+            return local.popleft()
+        if others:
+            self._local_streak = 0
+            self.remote_handoffs += 1
+            # FIFO across sockets: the socket whose head waited longest.
+            sock, q = min(others, key=lambda sq: sq[1][0][0])
+            return q.popleft()
+        if local:
+            # Streak exhausted but nobody waits remotely: stay local.
+            self.local_handoffs += 1
+            return local.popleft()
+        return None
+
+    def release(self, ctx: ThreadCtx) -> float:
+        self._release_checks(ctx)
+        nxt = self._pick_next(ctx)
+        if nxt is None:
+            self._held = False
+            self._local_streak = 0
+            return 0.0
+        _seq, ev, wctx = nxt
+        self.sim.call_at(self._handoff_cost(ctx.core, wctx.core), ev.succeed)
+        return 0.0

@@ -1,0 +1,61 @@
+"""The MCS queue lock (Mellor-Crummey & Scott, referenced in paper 8).
+
+FIFO like the ticket lock, but each waiter spins on a *local* queue-node
+flag instead of the shared ``now_serving`` counter, so waiting generates no
+global coherence traffic.  Entry is a single atomic swap on the tail
+pointer; hand-off is a store to the successor's node (one cache-line
+transfer to the successor's core).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from ..machine.threads import ThreadCtx
+from .base import Priority, SimLock
+
+__all__ = ["MCSLock"]
+
+
+class MCSLock(SimLock):
+    """Queue lock with local spinning."""
+
+    strict_owner = False
+
+    def __init__(self, sim, costs, name: str = "", trace=None):
+        super().__init__(sim, costs, name=name, trace=trace)
+        #: FIFO of (grant event, ctx) for queued waiters; the head of the
+        #: conceptual MCS list is the current owner (not stored here).
+        self._queue: Deque[Tuple[object, ThreadCtx]] = deque()
+        self._tail_occupied = False
+
+    @property
+    def n_queued(self) -> int:
+        return len(self._queue)
+
+    def acquire(self, ctx: ThreadCtx, priority: Priority = Priority.HIGH):
+        self._enter(ctx)
+        # Atomic swap on the tail pointer.
+        yield self.sim.timeout(self._atomic_cost(ctx.core))
+        self.line_owner = ctx.core
+        if not self._tail_occupied:
+            self._tail_occupied = True
+            self._grant(ctx)
+            return
+        ev = self.sim.event(name=f"mcs:{self.name}:{ctx.name}")
+        self._queue.append((ev, ctx))
+        yield ev
+        self._grant(ctx)
+
+    def release(self, ctx: ThreadCtx) -> float:
+        self._release_checks(ctx)
+        if self._queue:
+            ev, wctx = self._queue.popleft()
+            # Store to the successor's locally-spun flag: one line
+            # transfer from releaser to successor.
+            self.sim.call_at(self._handoff_cost(ctx.core, wctx.core), ev.succeed)
+        else:
+            # CAS tail back to nil.
+            self._tail_occupied = False
+        return 0.0

@@ -1,0 +1,76 @@
+"""Classic spinlocks: TAS and TTAS (paper 8, related work).
+
+These are not used by the reproduced MPICH configurations but serve the
+related-work comparison and the ablation benches: TAS hammers the lock
+line with atomic RMWs while waiting; TTAS spins on a read-only copy and
+attempts the RMW only when it observes the lock free.  Both inherit the
+proximity-biased race of the mutex's user space -- without the futex
+parking, so monopolization is milder but coherence traffic is worse.
+"""
+
+from __future__ import annotations
+
+from ..machine.costs import NS
+from ..machine.threads import ThreadCtx
+from .base import Priority, SimLock
+from ..sim.sync import Signal
+
+__all__ = ["TASLock", "TTASLock"]
+
+
+class TASLock(SimLock):
+    """Test-and-set: retry the atomic RMW in a tight loop."""
+
+    #: Pause between failed RMW attempts (ns); models the pipeline cost
+    #: of back-to-back locked instructions.
+    retry_gap_ns = 30.0
+
+    def acquire(self, ctx: ThreadCtx, priority: Priority = Priority.HIGH):
+        self._enter(ctx)
+        while True:
+            yield self.sim.timeout(self._atomic_cost(ctx.core))
+            self.line_owner = ctx.core
+            if self.owner is None:
+                self._grant(ctx)
+                return
+            yield self.sim.timeout(self.retry_gap_ns * NS)
+
+    def release(self, ctx: ThreadCtx) -> float:
+        self._release_checks(ctx)
+        self.line_owner = ctx.core
+        return 0.0
+
+
+class TTASLock(SimLock):
+    """Test-and-test-and-set: spin on a read, RMW only when free.
+
+    Waiters hold a shared copy of the line while the lock is held, so
+    they impose no RMW traffic; on release they all observe the store
+    (after a proximity-dependent delay) and race one RMW each.
+    """
+
+    def __init__(self, sim, costs, name: str = "", trace=None):
+        super().__init__(sim, costs, name=name, trace=trace)
+        self._released = Signal(sim, name=f"ttas:{self.name}")
+
+    def acquire(self, ctx: ThreadCtx, priority: Priority = Priority.HIGH):
+        self._enter(ctx)
+        while True:
+            if self.owner is not None:
+                # Spin on the local (shared) copy until the release
+                # invalidation reaches us.
+                yield self._released.wait()
+                yield self.sim.timeout(
+                    self._handoff_cost(self.line_owner, ctx.core)
+                )
+            yield self.sim.timeout(self._atomic_cost(ctx.core))
+            self.line_owner = ctx.core
+            if self.owner is None:
+                self._grant(ctx)
+                return
+
+    def release(self, ctx: ThreadCtx) -> float:
+        self._release_checks(ctx)
+        self.line_owner = ctx.core
+        self._released.fire()
+        return 0.0

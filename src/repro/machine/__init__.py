@@ -1,0 +1,22 @@
+"""NUMA machine model: topology, thread binding, and the cost model."""
+
+from .binding import BINDINGS, compact_binding, explicit_binding, scatter_binding
+from .costs import NS, CostModel
+from .threads import ThreadCtx
+from .topology import Core, Machine, MachineSpec, Proximity, Socket, nehalem_node
+
+__all__ = [
+    "Core",
+    "Socket",
+    "Machine",
+    "MachineSpec",
+    "Proximity",
+    "nehalem_node",
+    "ThreadCtx",
+    "CostModel",
+    "NS",
+    "compact_binding",
+    "scatter_binding",
+    "explicit_binding",
+    "BINDINGS",
+]

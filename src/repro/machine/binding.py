@@ -1,0 +1,50 @@
+"""Thread-to-core binding policies.
+
+The paper's experiments compare *compact* binding (fill one socket before
+spilling to the next; the paper's default binds the first four threads to
+socket 0) against *scatter* binding (round-robin across sockets), because
+the mutex bias is amplified when contenders span sockets (Fig. 2b, 5b).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .topology import Core, Machine
+
+__all__ = ["compact_binding", "scatter_binding", "explicit_binding", "BINDINGS"]
+
+
+def compact_binding(machine: Machine, n_threads: int) -> List[Core]:
+    """Fill sockets in order: cores 0..3 on socket 0, then socket 1, ..."""
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    cores = machine.cores
+    return [cores[i % len(cores)] for i in range(n_threads)]
+
+
+def scatter_binding(machine: Machine, n_threads: int) -> List[Core]:
+    """Round-robin across sockets: thread i goes to socket i % n_sockets."""
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    per_socket = [list(s.cores) for s in machine.sockets]
+    out: List[Core] = []
+    slot = [0] * len(per_socket)
+    for i in range(n_threads):
+        s = i % len(per_socket)
+        cores = per_socket[s]
+        out.append(cores[slot[s] % len(cores)])
+        slot[s] += 1
+    return out
+
+
+def explicit_binding(machine: Machine, core_indices: Sequence[int]) -> List[Core]:
+    """Bind thread i to ``machine.cores[core_indices[i]]``."""
+    return [machine.core(i) for i in core_indices]
+
+
+#: Named policies accepted by the experiment configs.
+BINDINGS = {
+    "compact": compact_binding,
+    "scatter": scatter_binding,
+}

@@ -1,0 +1,40 @@
+"""Software thread contexts.
+
+A :class:`ThreadCtx` is the identity a simulated thread presents to locks
+and to the MPI runtime: a unique id plus the core it is pinned to.  All
+experiments in the paper pin threads (via compact/scatter bindings), so a
+thread's core never changes during a run.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Optional
+
+from .topology import Core, Proximity
+
+__all__ = ["ThreadCtx"]
+
+_ids = count()
+
+
+class ThreadCtx:
+    """Identity of one simulated OS thread pinned to a core."""
+
+    __slots__ = ("tid", "core", "name", "rank")
+
+    def __init__(self, core: Core, name: str = "", rank: Optional[int] = None):
+        self.tid = next(_ids)
+        self.core = core
+        self.rank = rank
+        self.name = name or f"thread{self.tid}"
+
+    @property
+    def socket(self) -> int:
+        return self.core.socket
+
+    def proximity(self, other: "ThreadCtx") -> Proximity:
+        return self.core.proximity(other.core)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ThreadCtx {self.name} tid={self.tid} core={self.core.index} socket={self.socket}>"

@@ -1,0 +1,132 @@
+"""MPI request objects and their lifecycle (paper Fig. 3b).
+
+A receive request is *issued* by ``MPI_Irecv``; if its message is already
+in the unexpected queue it completes immediately, otherwise it is *posted*
+and completes when a matching message arrives.  ``MPI_Wait``/``MPI_Test``
+detect completion and *free* the request.
+
+The paper's profiling metric builds on this lifecycle: a **dangling**
+request is ``complete and not yet freed`` (4.4).  Any thread may complete
+another thread's request inside the progress engine, but only the owner
+frees it -- so a starving owner leaves dangling requests behind.
+"""
+
+from __future__ import annotations
+
+import enum
+from itertools import count
+from typing import Any, Optional
+
+from .envelope import Envelope
+
+__all__ = ["ReqKind", "ReqState", "Protocol", "Request", "RequestError"]
+
+_req_seq = count()
+
+
+class RequestError(RuntimeError):
+    """Invalid request state transition."""
+
+
+class ReqKind(enum.Enum):
+    SEND = "send"
+    RECV = "recv"
+    RMA = "rma"
+
+
+class ReqState(enum.Enum):
+    ISSUED = "issued"        # created in the main path
+    POSTED = "posted"        # recv waiting in the posted queue
+    PENDING = "pending"      # in flight (send injected / rndv handshake)
+    COMPLETE = "complete"    # done, not yet freed (dangling)
+    FREED = "freed"
+
+
+class Protocol(enum.Enum):
+    INLINE = "inline"   # payload rides the descriptor (<= inline threshold)
+    EAGER = "eager"     # payload sent immediately, copied at receiver
+    RNDV = "rndv"       # RTS/CTS handshake, then bulk data
+
+
+class Request:
+    """One nonblocking operation."""
+
+    __slots__ = (
+        "req_id", "kind", "rank", "owner_tid", "envelope", "nbytes",
+        "state", "protocol", "unexpected", "data",
+        "t_issued", "t_completed", "t_freed", "peer",
+    )
+
+    def __init__(
+        self,
+        kind: ReqKind,
+        rank: int,
+        owner_tid: int,
+        envelope: Envelope,
+        nbytes: int,
+        now: float,
+        protocol: Protocol = Protocol.EAGER,
+        peer: Optional[int] = None,
+    ):
+        if nbytes < 0:
+            raise ValueError(f"negative request size {nbytes}")
+        self.req_id = next(_req_seq)
+        self.kind = kind
+        self.rank = rank
+        self.owner_tid = owner_tid
+        self.envelope = envelope
+        self.nbytes = nbytes
+        self.state = ReqState.ISSUED
+        self.protocol = protocol
+        #: For receives: did the message go through the unexpected queue?
+        self.unexpected = False
+        #: Delivered payload (receives) / payload to deliver (sends).
+        self.data: Any = None
+        self.t_issued = now
+        self.t_completed: Optional[float] = None
+        self.t_freed: Optional[float] = None
+        self.peer = peer
+
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        return self.state in (ReqState.COMPLETE, ReqState.FREED)
+
+    @property
+    def freed(self) -> bool:
+        return self.state is ReqState.FREED
+
+    @property
+    def dangling(self) -> bool:
+        return self.state is ReqState.COMPLETE
+
+    # ------------------------------------------------------------------
+    def mark_posted(self) -> None:
+        if self.state is not ReqState.ISSUED:
+            raise RequestError(f"cannot post request in state {self.state}")
+        self.state = ReqState.POSTED
+
+    def mark_pending(self) -> None:
+        if self.state not in (ReqState.ISSUED, ReqState.POSTED):
+            raise RequestError(f"cannot set pending in state {self.state}")
+        self.state = ReqState.PENDING
+
+    def mark_complete(self, now: float) -> None:
+        if self.complete:
+            raise RequestError(f"request {self.req_id} completed twice")
+        self.state = ReqState.COMPLETE
+        self.t_completed = now
+
+    def mark_freed(self, now: float) -> None:
+        if self.state is not ReqState.COMPLETE:
+            raise RequestError(
+                f"cannot free request {self.req_id} in state {self.state}"
+            )
+        self.state = ReqState.FREED
+        self.t_freed = now
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Request #{self.req_id} {self.kind.value} rank={self.rank} "
+            f"{self.envelope} {self.nbytes}B {self.state.value}>"
+        )

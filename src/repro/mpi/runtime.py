@@ -1,0 +1,625 @@
+"""The per-rank MPI runtime: a miniature of MPICH's pt2pt path.
+
+Every MPI call follows the structure of paper Fig. 6a:
+
+* **main path** -- per-call bookkeeping under the *global critical
+  section*: allocate a request, search/update the matching queues, hand
+  data to the NIC.  Entered at HIGH lock priority.
+* **progress loop** -- calls that must wait (``MPI_Wait*``) repeatedly
+  poll the progress engine under the critical section, releasing and
+  re-acquiring it between iterations (MPICH's ``CS_YIELD``).  Re-entered
+  at LOW lock priority -- the hook the paper's priority lock exploits.
+
+The progress engine drains the rank's NIC receive queue: eager messages
+match the posted queue (or land in the unexpected queue), rendezvous
+control messages advance the RTS/CTS handshake, and RMA packets are
+delegated to the window handler (:mod:`repro.mpi.rma`).
+
+Any thread can complete any request inside the progress engine, but only
+the owner frees it in its own ``MPI_Wait``/``MPI_Test`` -- which is what
+makes the *dangling request* count (completed, not freed) a faithful
+starvation metric (paper 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..locks.base import Priority, SimLock
+from ..machine.costs import CostModel
+from ..machine.threads import ThreadCtx
+from ..network.fabric import Fabric, RankNic
+from ..network.message import Packet, PacketKind
+from ..sim.sync import Signal
+from .envelope import ANY_SOURCE, ANY_TAG, Envelope
+from .queues import PostedQueue, UnexpectedMsg, UnexpectedQueue
+from .request import Protocol, ReqKind, Request
+
+__all__ = ["MpiRuntime", "MpiThread", "RuntimeStats"]
+
+
+class _EagerInfo:
+    __slots__ = ("envelope", "nbytes", "req_id", "data")
+
+    def __init__(self, envelope, nbytes, req_id, data):
+        self.envelope = envelope
+        self.nbytes = nbytes
+        self.req_id = req_id
+        self.data = data
+
+
+class _RndvInfo:
+    __slots__ = ("envelope", "nbytes", "req_id")
+
+    def __init__(self, envelope, nbytes, req_id):
+        self.envelope = envelope
+        self.nbytes = nbytes
+        self.req_id = req_id
+
+
+class RuntimeStats:
+    """Counters exposed for the analysis modules."""
+
+    __slots__ = (
+        "sends_issued", "recvs_issued", "completed", "freed",
+        "posted_hits", "unexpected_hits", "progress_polls",
+        "empty_polls", "packets_handled", "cs_entries_main",
+        "cs_entries_progress",
+    )
+
+    def __init__(self):
+        for f in self.__slots__:
+            setattr(self, f, 0)
+
+    def as_dict(self) -> dict:
+        return {f: getattr(self, f) for f in self.__slots__}
+
+
+class MpiRuntime:
+    """One MPI process (rank) and its global critical section."""
+
+    def __init__(
+        self,
+        sim,
+        rank: int,
+        fabric: Fabric,
+        nic: RankNic,
+        lock: SimLock,
+        costs: CostModel,
+        eager_threshold: int = 16384,
+        inline_threshold: int = 128,
+        event_driven_wait: bool = False,
+        cs_granularity: str = "global",
+    ):
+        self.sim = sim
+        self.rank = rank
+        self.fabric = fabric
+        self.nic = nic
+        self.lock = lock
+        self.costs = costs
+        self.eager_threshold = int(eager_threshold)
+        self.inline_threshold = int(inline_threshold)
+        if cs_granularity not in ("global", "brief"):
+            raise ValueError(
+                f"cs_granularity must be 'global' or 'brief', got {cs_granularity!r}"
+            )
+        #: Critical-section granularity (paper Fig. 1 / 7): "global"
+        #: holds the CS across payload copies; "brief" releases it around
+        #: them, shortening holds at the cost of extra lock transitions.
+        #: Orthogonal to the arbitration method, as the paper argues.
+        self.cs_granularity = cs_granularity
+
+        self.posted_q = PostedQueue()
+        self.unexp_q = UnexpectedQueue()
+        #: Live requests by id (freed requests are dropped).
+        self.requests: Dict[int, Request] = {}
+        #: Sends awaiting CTS: req_id -> (request, data payload).
+        self._pending_sends: Dict[int, Tuple[Request, Any]] = {}
+        #: Completed-but-not-freed count (the paper's dangling metric).
+        self.dangling_count = 0
+        self.stats = RuntimeStats()
+        self._rng = sim.rng.stream(f"runtime:{rank}")
+        #: Paper 9 future work: park blocked waiters on an
+        #: arrival/completion signal instead of spinning in the progress
+        #: loop.  Simplified vs true *selective* wake-up: any activity
+        #: wakes every parked waiter of this rank.
+        self.event_driven_wait = bool(event_driven_wait)
+        self._activity = Signal(sim, name=f"activity@{rank}")
+        if self.event_driven_wait:
+            nic.on_packet = lambda pkt: self._activity.fire()
+        #: Collective sequence numbers, per communicator id.
+        self.coll_seq: Dict[int, int] = {}
+        #: RMA windows by id (populated by repro.mpi.rma).
+        self.windows: Dict[int, object] = {}
+
+    # ==================================================================
+    # Critical section
+    # ==================================================================
+    def _cs_acquire(self, ctx: ThreadCtx, priority: Priority):
+        if priority == Priority.HIGH:
+            self.stats.cs_entries_main += 1
+        else:
+            self.stats.cs_entries_progress += 1
+        yield from self.lock.acquire(ctx, priority=priority)
+
+    def _cs_release(self, ctx: ThreadCtx):
+        """Generator: releases the CS and charges the releaser-side cost
+        (a contended mutex unlock pays the FUTEX_WAKE syscall)."""
+        cost = self.lock.release(ctx)
+        if cost > 0.0:
+            yield self.sim.timeout(cost)
+
+    def _cs_time(self, seconds: float):
+        """A timeout for in-CS work, inflated by contention: waiting
+        threads' retries/spinning bounce the runtime's shared cache
+        lines and slow the critical path (David et al., SOSP'13)."""
+        return self.sim.timeout(seconds * self.lock.contention_factor())
+
+    def _charge_copy(self, ctx: ThreadCtx, seconds: float, priority: Priority):
+        """Charge a payload copy.  Under "global" granularity the copy
+        happens while holding the CS; under "brief" the CS is released
+        around it (the copy touches only private buffers), paying two
+        extra lock transitions instead of a long hold."""
+        if seconds <= 0.0:
+            return
+        if (
+            self.cs_granularity == "brief"
+            and seconds * 1e9 >= self.costs.brief_copy_min_ns
+        ):
+            yield from self._cs_release(ctx)
+            yield self.sim.timeout(seconds)
+            yield from self._cs_acquire(ctx, priority)
+        else:
+            yield self._cs_time(seconds)
+
+    # ==================================================================
+    # Completion plumbing
+    # ==================================================================
+    def _complete(self, req: Request) -> None:
+        req.mark_complete(self.sim.now)
+        self.dangling_count += 1
+        self.stats.completed += 1
+        if self.event_driven_wait:
+            self._activity.fire()
+
+    def _free(self, req: Request) -> None:
+        req.mark_freed(self.sim.now)
+        self.dangling_count -= 1
+        self.stats.freed += 1
+        self.requests.pop(req.req_id, None)
+
+    # ==================================================================
+    # Main-path operations (generators; called via MpiThread)
+    # ==================================================================
+    def isend(
+        self,
+        ctx: ThreadCtx,
+        dest: int,
+        nbytes: int,
+        tag: int = 0,
+        comm: int = 0,
+        data: Any = None,
+    ):
+        """Nonblocking send.  Returns the Request."""
+        env = Envelope(source=self.rank, tag=tag, comm=comm)
+        yield self.sim.timeout(self.costs.request_alloc * (0.5 + self._rng.random()))
+        yield from self._cs_acquire(ctx, Priority.HIGH)
+        yield self._cs_time(self.costs.cs_main)
+        if nbytes <= self.eager_threshold:
+            protocol = (
+                Protocol.INLINE if nbytes <= self.inline_threshold else Protocol.EAGER
+            )
+        else:
+            protocol = Protocol.RNDV
+        req = Request(
+            ReqKind.SEND, self.rank, ctx.tid, env, nbytes, self.sim.now,
+            protocol=protocol, peer=dest,
+        )
+        self.requests[req.req_id] = req
+        self.stats.sends_issued += 1
+
+        if protocol is Protocol.RNDV:
+            req.mark_pending()
+            self._pending_sends[req.req_id] = (req, data)
+            pkt = Packet(
+                PacketKind.RTS, self.rank, dest, 0,
+                payload=_RndvInfo(env, nbytes, req.req_id),
+            )
+            self.fabric.send(pkt)
+        else:
+            if protocol is Protocol.EAGER:
+                # Copy into the NIC's eager buffer.
+                yield from self._charge_copy(
+                    ctx, self.costs.copy_time(nbytes), Priority.HIGH
+                )
+            req.mark_pending()
+            pkt = Packet(
+                PacketKind.EAGER, self.rank, dest, nbytes,
+                payload=_EagerInfo(env, nbytes, req.req_id, data),
+            )
+            local_done = self.fabric.send(pkt)
+            local_done.add_callback(lambda _ev, r=req: self._complete(r))
+        yield from self._cs_release(ctx)
+        return req
+
+    def irecv(
+        self,
+        ctx: ThreadCtx,
+        source: int = ANY_SOURCE,
+        nbytes: int = 0,
+        tag: int = ANY_TAG,
+        comm: int = 0,
+    ):
+        """Nonblocking receive.  ``nbytes`` is the buffer size (modeling
+        only; the matched message's size is used for copy costs)."""
+        env = Envelope(source=source, tag=tag, comm=comm)
+        yield self.sim.timeout(self.costs.request_alloc * (0.5 + self._rng.random()))
+        yield from self._cs_acquire(ctx, Priority.HIGH)
+        yield self._cs_time(self.costs.cs_main)
+        req = Request(
+            ReqKind.RECV, self.rank, ctx.tid, env, nbytes, self.sim.now,
+            peer=source,
+        )
+        self.requests[req.req_id] = req
+        self.stats.recvs_issued += 1
+
+        msg, scanned = self.unexp_q.match(env)
+        yield self._cs_time(self.costs.queue_scan * scanned)
+        if msg is None:
+            self.posted_q.post(req)
+        elif msg.rndv:
+            # Rendezvous sender is waiting for clearance.
+            req.unexpected = True
+            req.mark_pending()
+            self._send_cts(msg.src_rank, msg.sender_req_id, req.req_id)
+        else:
+            # Eager payload parked in the unexpected buffer: extra copy.
+            req.unexpected = True
+            yield from self._charge_copy(
+                ctx, self.costs.copy_time(msg.nbytes, unexpected=True),
+                Priority.HIGH,
+            )
+            req.data = msg.data
+            self._complete(req)
+        yield from self._cs_release(ctx)
+        return req
+
+    def test(self, ctx: ThreadCtx, req: Request):
+        """MPI_Test: one progress poke; frees the request on success.
+        Returns True when the request completed."""
+        yield from self._cs_acquire(ctx, Priority.HIGH)
+        yield self._cs_time(self.costs.cs_main)
+        if not req.complete:
+            yield from self._progress_poll(ctx)
+        done = req.complete
+        if done and not req.freed:
+            self._free(req)
+        yield from self._cs_release(ctx)
+        return done
+
+    def wait(self, ctx: ThreadCtx, req: Request):
+        """MPI_Wait: block (polling the progress engine) until complete."""
+        return (yield from self.waitall(ctx, (req,)))
+
+    def waitall(self, ctx: ThreadCtx, reqs: Iterable[Request]):
+        """MPI_Waitall over ``reqs``; frees them all."""
+        reqs = tuple(reqs)
+        yield from self._cs_acquire(ctx, Priority.HIGH)
+        yield self._cs_time(self.costs.cs_main)
+        while not all(r.complete for r in reqs):
+            yield from self._progress_poll(ctx)
+            if all(r.complete for r in reqs):
+                break
+            # CS_YIELD: let other threads at the runtime, come back at
+            # progress-loop (LOW) priority.  The gap is jittered: real
+            # yields have scheduling noise, and a deterministic gap
+            # produces artificial lockstep alternation between threads.
+            yield from self._cs_release(ctx)
+            if self.event_driven_wait and not self.nic.recv_q:
+                # Nothing to progress: park until a packet arrives or a
+                # request completes (no sim time passes between this
+                # check and the wait, so no wake-up can be missed).
+                yield self._activity.wait()
+                yield self.sim.timeout(self.costs.event_wakeup)
+            else:
+                gap = self.costs.progress_gap * (0.5 + self._rng.random())
+                yield self.sim.timeout(gap)
+            yield from self._cs_acquire(ctx, Priority.LOW)
+        for r in reqs:
+            if not r.freed:
+                self._free(r)
+        yield from self._cs_release(ctx)
+        return [r.data for r in reqs]
+
+    def testall(self, ctx: ThreadCtx, reqs):
+        """MPI_Testall: one progress poke; frees all and returns True only
+        when every request has completed."""
+        reqs = tuple(reqs)
+        yield from self._cs_acquire(ctx, Priority.HIGH)
+        yield self._cs_time(self.costs.cs_main)
+        if not all(r.complete for r in reqs):
+            yield from self._progress_poll(ctx)
+        done = all(r.complete for r in reqs)
+        if done:
+            for r in reqs:
+                if not r.freed:
+                    self._free(r)
+        yield from self._cs_release(ctx)
+        return done
+
+    def testany(self, ctx: ThreadCtx, reqs):
+        """MPI_Testany: one progress poke; frees and returns the index of
+        the first completed request, or None."""
+        reqs = tuple(reqs)
+        yield from self._cs_acquire(ctx, Priority.HIGH)
+        yield self._cs_time(self.costs.cs_main)
+        if not any(r.complete for r in reqs):
+            yield from self._progress_poll(ctx)
+        idx = next((i for i, r in enumerate(reqs) if r.complete), None)
+        if idx is not None and not reqs[idx].freed:
+            self._free(reqs[idx])
+        yield from self._cs_release(ctx)
+        return idx
+
+    def waitany(self, ctx: ThreadCtx, reqs):
+        """MPI_Waitany: block until one request completes; frees it and
+        returns its index."""
+        reqs = tuple(reqs)
+        yield from self._cs_acquire(ctx, Priority.HIGH)
+        yield self._cs_time(self.costs.cs_main)
+        while not any(r.complete for r in reqs):
+            yield from self._progress_poll(ctx)
+            if any(r.complete for r in reqs):
+                break
+            yield from self._cs_release(ctx)
+            if self.event_driven_wait and not self.nic.recv_q:
+                yield self._activity.wait()
+                yield self.sim.timeout(self.costs.event_wakeup)
+            else:
+                gap = self.costs.progress_gap * (0.5 + self._rng.random())
+                yield self.sim.timeout(gap)
+            yield from self._cs_acquire(ctx, Priority.LOW)
+        idx = next(i for i, r in enumerate(reqs) if r.complete)
+        if not reqs[idx].freed:
+            self._free(reqs[idx])
+        yield from self._cs_release(ctx)
+        return idx
+
+    def iprobe(self, ctx: ThreadCtx, source=ANY_SOURCE, tag=ANY_TAG, comm=0):
+        """MPI_Iprobe: one progress poke, then a non-destructive check of
+        the unexpected queue.  Returns the matched concrete
+        ``(source, tag, nbytes)`` or None.
+
+        As in real MPICH, probing only observes messages the progress
+        engine has already moved to the unexpected queue; a message
+        sitting in a matching *posted* receive is not probe-visible.
+        """
+        env = Envelope(source=source, tag=tag, comm=comm)
+        yield from self._cs_acquire(ctx, Priority.HIGH)
+        yield self._cs_time(self.costs.cs_main)
+        yield from self._progress_poll(ctx)
+        found = None
+        scanned = 0
+        from .envelope import matches as _matches
+        for msg in self.unexp_q._q:
+            scanned += 1
+            if _matches(env, msg.envelope):
+                found = (msg.envelope.source, msg.envelope.tag, msg.nbytes)
+                break
+        yield self._cs_time(self.costs.queue_scan * scanned)
+        yield from self._cs_release(ctx)
+        return found
+
+    def probe(self, ctx: ThreadCtx, source=ANY_SOURCE, tag=ANY_TAG, comm=0):
+        """MPI_Probe: block until a matching message is probe-visible."""
+        while True:
+            found = yield from self.iprobe(ctx, source=source, tag=tag, comm=comm)
+            if found is not None:
+                return found
+            yield self.sim.timeout(
+                self.costs.progress_gap * (0.5 + self._rng.random())
+            )
+
+    def sendrecv(self, ctx, dest, source, nbytes, tag=0, comm=0, data=None,
+                 recv_nbytes=None, recv_tag=None):
+        """MPI_Sendrecv: simultaneous blocking send + receive (the
+        deadlock-free exchange primitive).  Returns the received data."""
+        sreq = yield from self.isend(ctx, dest, nbytes, tag=tag, comm=comm, data=data)
+        rreq = yield from self.irecv(
+            ctx, source=source,
+            nbytes=nbytes if recv_nbytes is None else recv_nbytes,
+            tag=tag if recv_tag is None else recv_tag, comm=comm,
+        )
+        yield from self.waitall(ctx, (sreq, rreq))
+        return rreq.data
+
+    def send(self, ctx, dest, nbytes, tag=0, comm=0, data=None):
+        """Blocking send (isend + wait)."""
+        req = yield from self.isend(ctx, dest, nbytes, tag=tag, comm=comm, data=data)
+        yield from self.wait(ctx, req)
+
+    def recv(self, ctx, source=ANY_SOURCE, nbytes=0, tag=ANY_TAG, comm=0):
+        """Blocking receive; returns the payload data."""
+        req = yield from self.irecv(ctx, source=source, nbytes=nbytes, tag=tag, comm=comm)
+        out = yield from self.wait(ctx, req)
+        return out[0]
+
+    def progress_poke(self, ctx: ThreadCtx):
+        """One LOW-priority progress poll (the async progress thread's
+        whole life, paper 6.1.2)."""
+        yield from self._cs_acquire(ctx, Priority.LOW)
+        yield from self._progress_poll(ctx)
+        yield from self._cs_release(ctx)
+
+    # ==================================================================
+    # Progress engine (must be called holding the CS)
+    # ==================================================================
+    def _progress_poll(self, ctx: ThreadCtx):
+        """Drain the NIC receive queue; returns True if any packet was
+        handled."""
+        self.stats.progress_polls += 1
+        q = self.nic.recv_q
+        if not q:
+            self.stats.empty_polls += 1
+            yield self._cs_time(self.costs.cs_poll_empty)
+            return False
+        # Handle a bounded batch; the rest waits for the next poll (a
+        # real progress engine processes a bounded completion batch per
+        # call, it does not drain the wire in one critical section).
+        # Re-check emptiness each iteration: under "brief" granularity a
+        # handler may drop the CS mid-copy and another thread may drain
+        # the queue meanwhile.
+        for _ in range(self.costs.progress_batch):
+            if not q:
+                break
+            pkt = q.popleft()
+            yield from self._handle_packet(ctx, pkt)
+        return True
+
+    def _handle_packet(self, ctx: ThreadCtx, pkt: Packet):
+        self.stats.packets_handled += 1
+        yield self._cs_time(self.costs.cs_poll_packet)
+        kind = pkt.kind
+        if kind is PacketKind.EAGER:
+            info = pkt.payload
+            req, scanned = self.posted_q.match(info.envelope)
+            yield self._cs_time(self.costs.queue_scan * scanned)
+            if req is not None:
+                self.stats.posted_hits += 1
+                yield from self._charge_copy(
+                    ctx, self.costs.copy_time(info.nbytes), Priority.LOW
+                )
+                req.data = info.data
+                self._complete(req)
+            else:
+                self.stats.unexpected_hits += 1
+                self.unexp_q.add(
+                    UnexpectedMsg(
+                        info.envelope, info.nbytes, pkt.src_rank,
+                        data=info.data, arrival_time=self.sim.now,
+                    )
+                )
+        elif kind is PacketKind.RTS:
+            info = pkt.payload
+            req, scanned = self.posted_q.match(info.envelope)
+            yield self._cs_time(self.costs.queue_scan * scanned)
+            if req is not None:
+                self.stats.posted_hits += 1
+                req.mark_pending()
+                self._send_cts(pkt.src_rank, info.req_id, req.req_id)
+            else:
+                self.stats.unexpected_hits += 1
+                self.unexp_q.add(
+                    UnexpectedMsg(
+                        info.envelope, info.nbytes, pkt.src_rank,
+                        rndv=True, sender_req_id=info.req_id,
+                        arrival_time=self.sim.now,
+                    )
+                )
+        elif kind is PacketKind.CTS:
+            sender_req_id, recv_req_id = pkt.payload
+            req, data = self._pending_sends.pop(sender_req_id)
+            data_pkt = Packet(
+                PacketKind.RNDV_DATA, self.rank, pkt.src_rank, req.nbytes,
+                payload=(recv_req_id, data),
+            )
+            local_done = self.fabric.send(data_pkt)
+            local_done.add_callback(lambda _ev, r=req: self._complete(r))
+        elif kind is PacketKind.RNDV_DATA:
+            recv_req_id, data = pkt.payload
+            req = self.requests[recv_req_id]
+            # Rendezvous lands zero-copy in the user buffer (RDMA write);
+            # only the handling cost (already charged) applies.
+            req.data = data
+            self._complete(req)
+        elif kind.name.startswith("RMA"):
+            handler = self.windows.get(getattr(pkt.payload, "win_id", None))
+            if handler is None:
+                raise RuntimeError(f"no window registered for {pkt!r}")
+            yield from handler.handle_packet(ctx, pkt)
+        else:
+            raise RuntimeError(f"unhandled packet kind {kind}")
+
+    def _send_cts(self, dest: int, sender_req_id: int, recv_req_id: int) -> None:
+        pkt = Packet(
+            PacketKind.CTS, self.rank, dest, 0,
+            payload=(sender_req_id, recv_req_id),
+        )
+        self.fabric.send(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<MpiRuntime rank={self.rank} lock={type(self.lock).__name__} "
+            f"posted={len(self.posted_q)} unexp={len(self.unexp_q)} "
+            f"dangling={self.dangling_count}>"
+        )
+
+
+class MpiThread:
+    """A thread's view of its rank's runtime: binds a ThreadCtx and
+    forwards MPI calls (all generators, used with ``yield from``)."""
+
+    def __init__(self, runtime: MpiRuntime, ctx: ThreadCtx):
+        self.runtime = runtime
+        self.ctx = ctx
+
+    @property
+    def rank(self) -> int:
+        return self.runtime.rank
+
+    @property
+    def sim(self):
+        return self.runtime.sim
+
+    def isend(self, dest, nbytes, tag=0, comm=0, data=None):
+        return self.runtime.isend(self.ctx, dest, nbytes, tag=tag, comm=comm, data=data)
+
+    def irecv(self, source=ANY_SOURCE, nbytes=0, tag=ANY_TAG, comm=0):
+        return self.runtime.irecv(self.ctx, source=source, nbytes=nbytes, tag=tag, comm=comm)
+
+    def send(self, dest, nbytes, tag=0, comm=0, data=None):
+        return self.runtime.send(self.ctx, dest, nbytes, tag=tag, comm=comm, data=data)
+
+    def recv(self, source=ANY_SOURCE, nbytes=0, tag=ANY_TAG, comm=0):
+        return self.runtime.recv(self.ctx, source=source, nbytes=nbytes, tag=tag, comm=comm)
+
+    def wait(self, req):
+        return self.runtime.wait(self.ctx, req)
+
+    def waitall(self, reqs):
+        return self.runtime.waitall(self.ctx, reqs)
+
+    def test(self, req):
+        return self.runtime.test(self.ctx, req)
+
+    def testall(self, reqs):
+        return self.runtime.testall(self.ctx, reqs)
+
+    def testany(self, reqs):
+        return self.runtime.testany(self.ctx, reqs)
+
+    def waitany(self, reqs):
+        return self.runtime.waitany(self.ctx, reqs)
+
+    def iprobe(self, source=ANY_SOURCE, tag=ANY_TAG, comm=0):
+        return self.runtime.iprobe(self.ctx, source=source, tag=tag, comm=comm)
+
+    def probe(self, source=ANY_SOURCE, tag=ANY_TAG, comm=0):
+        return self.runtime.probe(self.ctx, source=source, tag=tag, comm=comm)
+
+    def sendrecv(self, dest, source, nbytes, tag=0, comm=0, data=None,
+                 recv_nbytes=None, recv_tag=None):
+        return self.runtime.sendrecv(
+            self.ctx, dest, source, nbytes, tag=tag, comm=comm, data=data,
+            recv_nbytes=recv_nbytes, recv_tag=recv_tag,
+        )
+
+    def progress_poke(self):
+        return self.runtime.progress_poke(self.ctx)
+
+    def compute(self, seconds: float):
+        """Model local computation for ``seconds`` (outside the runtime)."""
+        return self.sim.timeout(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<MpiThread rank={self.rank} {self.ctx.name}>"

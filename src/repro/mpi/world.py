@@ -1,0 +1,202 @@
+"""Cluster builder: nodes x ranks x threads, with bindings and locks.
+
+:class:`Cluster` wires together every substrate -- one simulator, one
+fabric, a machine per node, one runtime (with its own global critical
+section) per rank, and pinned :class:`MpiThread` handles for workloads.
+
+Core assignment follows the paper's setups:
+
+* one rank per node: threads bound over the whole node by the configured
+  binding policy (compact/scatter; paper 4.2);
+* several ranks per node: the node's cores are split into contiguous
+  chunks, one per rank (e.g. Fig. 12's four processes x two threads).
+
+``async_progress=True`` forks MPICH's asynchronous progress thread on
+every rank (paper 6.1.2): an endless LOW-priority progress poller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..locks import LockTrace, make_lock
+from ..machine import (
+    BINDINGS,
+    CostModel,
+    Machine,
+    MachineSpec,
+    ThreadCtx,
+)
+from ..network import Fabric, NetworkConfig
+from ..sim import Simulator
+from .collectives import Communicator
+from .runtime import MpiRuntime, MpiThread
+
+__all__ = ["ClusterConfig", "Cluster"]
+
+
+@dataclass
+class ClusterConfig:
+    n_nodes: int = 2
+    ranks_per_node: int = 1
+    threads_per_rank: int = 1
+    lock: str = "mutex"
+    binding: str = "compact"
+    seed: int = 0
+    costs: CostModel = field(default_factory=CostModel)
+    net: NetworkConfig = field(default_factory=NetworkConfig)
+    machine_spec: MachineSpec = field(default_factory=MachineSpec)
+    eager_threshold: int = 16384
+    inline_threshold: int = 128
+    async_progress: bool = False
+    #: Paper 9 future work: blocked waiters park on arrival/completion
+    #: events instead of spinning in the progress loop.
+    event_driven_wait: bool = False
+    #: Critical-section granularity: "global" (paper baseline) or
+    #: "brief" (payload copies outside the CS, paper Fig. 1 / 7).
+    cs_granularity: str = "global"
+    #: Record a LockTrace per rank (bias analysis needs this).
+    trace_locks: bool = False
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_nodes * self.ranks_per_node
+
+
+class Cluster:
+    """A simulated cluster ready to run MPI workloads."""
+
+    def __init__(self, config: ClusterConfig):
+        if config.n_nodes < 1 or config.ranks_per_node < 1:
+            raise ValueError("need at least one node and one rank per node")
+        if config.threads_per_rank < 1:
+            raise ValueError("need at least one thread per rank")
+        if config.binding not in BINDINGS:
+            raise ValueError(
+                f"unknown binding {config.binding!r}; expected one of {sorted(BINDINGS)}"
+            )
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.machines: List[Machine] = [
+            Machine(node_id=n, spec=config.machine_spec)
+            for n in range(config.n_nodes)
+        ]
+        self.fabric = Fabric(self.sim, config.net)
+        self.runtimes: List[MpiRuntime] = []
+        self.threads: List[List[MpiThread]] = []
+        self.lock_traces: Dict[int, LockTrace] = {}
+        self._progress_ctxs: List[ThreadCtx] = []
+        self._shutdown = False
+
+        for rank in range(config.n_ranks):
+            node = rank // config.ranks_per_node
+            machine = self.machines[node]
+            nic = self.fabric.register_rank(rank, node)
+            trace = LockTrace() if config.trace_locks else None
+            if trace is not None:
+                self.lock_traces[rank] = trace
+            lock = make_lock(
+                config.lock, self.sim, config.costs,
+                name=f"{config.lock}@rank{rank}", trace=trace,
+            )
+            rt = MpiRuntime(
+                self.sim, rank, self.fabric, nic, lock, config.costs,
+                eager_threshold=config.eager_threshold,
+                inline_threshold=config.inline_threshold,
+                event_driven_wait=config.event_driven_wait,
+                cs_granularity=config.cs_granularity,
+            )
+            self.runtimes.append(rt)
+
+            cores = self._rank_cores(machine, rank)
+            ths = []
+            for i in range(config.threads_per_rank):
+                ctx = ThreadCtx(
+                    cores[i % len(cores)], name=f"r{rank}t{i}", rank=rank
+                )
+                ths.append(MpiThread(rt, ctx))
+            self.threads.append(ths)
+
+        self.world = Communicator.world(config.n_ranks)
+
+        if config.async_progress:
+            for rank in range(config.n_ranks):
+                self._fork_progress_thread(rank)
+
+    # ------------------------------------------------------------------
+    def _rank_cores(self, machine: Machine, rank: int):
+        cfg = self.config
+        if cfg.ranks_per_node == 1:
+            return BINDINGS[cfg.binding](machine, max(cfg.threads_per_rank, 1))
+        rl = rank % cfg.ranks_per_node
+        per_rank = max(1, machine.n_cores // cfg.ranks_per_node)
+        chunk = machine.cores[rl * per_rank:(rl + 1) * per_rank]
+        return chunk or [machine.cores[rl % machine.n_cores]]
+
+    def _fork_progress_thread(self, rank: int) -> None:
+        cfg = self.config
+        machine = self.machines[rank // cfg.ranks_per_node]
+        # Bind past the app threads: the progress thread gets the next
+        # core after them (wrapping onto core 0 when oversubscribed).
+        if cfg.ranks_per_node == 1:
+            cores = BINDINGS[cfg.binding](machine, cfg.threads_per_rank + 1)
+            core = cores[cfg.threads_per_rank]
+        else:
+            chunk = self._rank_cores(machine, rank)
+            core = chunk[cfg.threads_per_rank % len(chunk)]
+        ctx = ThreadCtx(core, name=f"r{rank}async", rank=rank)
+        self._progress_ctxs.append(ctx)
+        rt = self.runtimes[rank]
+
+        def loop():
+            while not self._shutdown:
+                yield from rt.progress_poke(ctx)
+                if cfg.event_driven_wait and not rt.nic.recv_q:
+                    yield rt._activity.wait()
+                    yield self.sim.timeout(rt.costs.event_wakeup)
+                else:
+                    yield self.sim.timeout(rt.costs.progress_gap)
+
+        self.sim.process(loop(), name=f"async-progress@{rank}")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        return len(self.runtimes)
+
+    def thread(self, rank: int, i: int = 0) -> MpiThread:
+        return self.threads[rank][i]
+
+    def spawn(self, gen, name: str = ""):
+        """Start a workload process on the simulator."""
+        return self.sim.process(gen, name=name)
+
+    def run(self, procs: Optional[list] = None) -> None:
+        """Run the simulation.
+
+        With ``procs``: run until every listed process finishes, then
+        shut down service threads (async progress) and drain.  Without:
+        run the heap dry.
+        """
+        if procs:
+            self.sim.run(until=self.sim.all_of(procs))
+            self._shutdown = True
+        self.sim.run()
+
+    def run_workload(self, generators, name: str = "workload") -> list:
+        """Spawn one process per generator, run to completion, return
+        their results in order."""
+        procs = [
+            self.sim.process(g, name=f"{name}[{i}]")
+            for i, g in enumerate(generators)
+        ]
+        self.run(procs)
+        return [p.value for p in procs]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        c = self.config
+        return (
+            f"<Cluster {c.n_nodes}n x {c.ranks_per_node}r x {c.threads_per_rank}t "
+            f"lock={c.lock} binding={c.binding}>"
+        )

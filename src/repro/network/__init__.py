@@ -1,0 +1,10 @@
+"""Interconnect model: packets, NICs, and the fabric."""
+
+from .fabric import Fabric, NetworkConfig, RankNic
+from .message import Packet, PacketKind
+from .trace import PacketRecord, PacketTracer, TrafficSummary
+
+__all__ = [
+    "Fabric", "NetworkConfig", "RankNic", "Packet", "PacketKind",
+    "PacketTracer", "PacketRecord", "TrafficSummary",
+]

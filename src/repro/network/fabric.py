@@ -1,0 +1,153 @@
+"""The interconnect model: QDR InfiniBand-like fabric plus intranode
+shared-memory transport.
+
+The model is deliberately first-order -- the paper's phenomena live in the
+*ratio* of critical-section time to network time, not in fabric details:
+
+* per-message injection overhead at the sending rank's NIC (descriptor,
+  doorbell),
+* FIFO serialization of a node's uplink at link bandwidth (concurrent
+  messages from one node pipeline behind each other),
+* a constant propagation latency,
+* a cheaper, higher-bandwidth path for ranks on the same node.
+
+Delivery appends the packet to the destination rank's receive queue; the
+MPI progress engine drains that queue when threads poll (there are no
+asynchronous receive interrupts, matching MPICH's polled progress).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from ..sim.engine import Simulator
+from .message import Packet
+
+__all__ = ["NetworkConfig", "RankNic", "Fabric"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Fabric timing parameters (defaults: Mellanox QDR-like)."""
+
+    #: One-way propagation + switch latency, internode (ns).
+    latency_ns: float = 1300.0
+    #: Node uplink bandwidth (GB/s).  QDR: 32 Gbit/s raw, ~3.2 GB/s eff.
+    bandwidth_gbps: float = 3.2
+    #: Per-message injection overhead at the sending NIC (ns).
+    inject_ns: float = 250.0
+    #: Wire header per packet (bytes).
+    header_bytes: int = 48
+    #: Intranode (shared-memory) one-way latency (ns).
+    shm_latency_ns: float = 250.0
+    #: Intranode copy bandwidth (GB/s).
+    shm_bandwidth_gbps: float = 6.0
+    #: Per-message overhead on the shm path (ns).
+    shm_inject_ns: float = 80.0
+
+    def with_overrides(self, **kw) -> "NetworkConfig":
+        return replace(self, **kw)
+
+
+class _FifoServer:
+    """Work-conserving FIFO serialization point (busy-until bookkeeping)."""
+
+    __slots__ = ("busy_until",)
+
+    def __init__(self):
+        self.busy_until = 0.0
+
+    def reserve(self, now: float, duration: float) -> float:
+        """Occupy the server for ``duration`` starting no earlier than
+        ``now``; returns the completion time."""
+        start = now if now > self.busy_until else self.busy_until
+        self.busy_until = start + duration
+        return self.busy_until
+
+
+class RankNic:
+    """Per-rank network interface: injection server + receive queue."""
+
+    def __init__(self, rank: int, node: int):
+        self.rank = rank
+        self.node = node
+        self.inject = _FifoServer()
+        self.recv_q: deque = deque()
+        #: Optional callback ``cb(packet)`` fired on delivery (used by
+        #: the runtime's event-driven wait mode).
+        self.on_packet = None
+        # Counters for metrics/debugging.
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        self.recv_packets = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RankNic rank={self.rank} node={self.node} rxq={len(self.recv_q)}>"
+
+
+class Fabric:
+    """Connects rank NICs across (and within) nodes."""
+
+    def __init__(self, sim: Simulator, config: Optional[NetworkConfig] = None):
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self._nics: Dict[int, RankNic] = {}
+        self._uplinks: Dict[int, _FifoServer] = {}
+        #: Optional hooks ``cb(packet)`` run at delivery (tests, tracing).
+        self.on_deliver: List[Callable] = []
+
+    # ------------------------------------------------------------------
+    def register_rank(self, rank: int, node: int) -> RankNic:
+        if rank in self._nics:
+            raise ValueError(f"rank {rank} already registered")
+        nic = RankNic(rank, node)
+        self._nics[rank] = nic
+        self._uplinks.setdefault(node, _FifoServer())
+        return nic
+
+    def nic(self, rank: int) -> RankNic:
+        return self._nics[rank]
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet):
+        """Inject ``packet``; returns an Event firing at *local completion*
+        (source buffer reusable / data handed to the NIC)."""
+        cfg = self.config
+        src = self._nics[packet.src_rank]
+        try:
+            dst = self._nics[packet.dst_rank]
+        except KeyError:
+            raise ValueError(f"unknown destination rank {packet.dst_rank}") from None
+        now = self.sim.now
+        wire_bytes = packet.nbytes + cfg.header_bytes
+
+        if src.node == dst.node:
+            serialize = cfg.shm_inject_ns * 1e-9 + wire_bytes / (
+                cfg.shm_bandwidth_gbps * 1e9
+            )
+            inject_done = src.inject.reserve(now, serialize)
+            deliver_at = inject_done + cfg.shm_latency_ns * 1e-9
+        else:
+            inject_done = src.inject.reserve(now, cfg.inject_ns * 1e-9)
+            uplink = self._uplinks[src.node]
+            xfer_done = uplink.reserve(
+                inject_done, wire_bytes / (cfg.bandwidth_gbps * 1e9)
+            )
+            inject_done = xfer_done
+            deliver_at = xfer_done + cfg.latency_ns * 1e-9
+
+        src.sent_packets += 1
+        src.sent_bytes += wire_bytes
+        local_done = self.sim.timeout(inject_done - now)
+        self.sim.call_at(deliver_at - now, self._deliver, dst, packet)
+        return local_done
+
+    def _deliver(self, nic: RankNic, packet: Packet) -> None:
+        nic.recv_q.append(packet)
+        nic.recv_packets += 1
+        if nic.on_packet is not None:
+            nic.on_packet(packet)
+        for cb in self.on_deliver:
+            cb(packet)

@@ -1,0 +1,99 @@
+"""Packet tracing: capture and summarize fabric traffic.
+
+Attach a :class:`PacketTracer` to a fabric (or a cluster's fabric) to
+record every delivery; the summary breaks traffic down by packet kind --
+useful for verifying protocol behaviour (e.g. how much of a run's
+traffic is rendezvous control) and for debugging workloads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .fabric import Fabric
+from .message import Packet, PacketKind
+
+__all__ = ["PacketRecord", "TrafficSummary", "PacketTracer"]
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    time: float
+    kind: PacketKind
+    src_rank: int
+    dst_rank: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    n_packets: int
+    total_bytes: int
+    by_kind: Dict[str, int]
+    bytes_by_kind: Dict[str, int]
+    by_pair: Dict[Tuple[int, int], int]
+    span_s: float
+
+    @property
+    def packet_rate(self) -> float:
+        return self.n_packets / self.span_s if self.span_s > 0 else 0.0
+
+
+class PacketTracer:
+    """Records every packet the fabric delivers."""
+
+    def __init__(self, fabric: Fabric):
+        self.fabric = fabric
+        self.records: List[PacketRecord] = []
+        self._hook = self._on_deliver
+        fabric.on_deliver.append(self._hook)
+
+    def _on_deliver(self, pkt: Packet) -> None:
+        self.records.append(
+            PacketRecord(
+                time=self.fabric.sim.now,
+                kind=pkt.kind,
+                src_rank=pkt.src_rank,
+                dst_rank=pkt.dst_rank,
+                nbytes=pkt.nbytes,
+            )
+        )
+
+    def detach(self) -> None:
+        self.fabric.on_deliver.remove(self._hook)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> TrafficSummary:
+        if not self.records:
+            return TrafficSummary(0, 0, {}, {}, {}, 0.0)
+        by_kind: Counter = Counter()
+        bytes_by_kind: Counter = Counter()
+        by_pair: Counter = Counter()
+        total = 0
+        for r in self.records:
+            by_kind[r.kind.value] += 1
+            bytes_by_kind[r.kind.value] += r.nbytes
+            by_pair[(r.src_rank, r.dst_rank)] += 1
+            total += r.nbytes
+        span = self.records[-1].time - self.records[0].time
+        return TrafficSummary(
+            n_packets=len(self.records),
+            total_bytes=total,
+            by_kind=dict(by_kind),
+            bytes_by_kind=dict(bytes_by_kind),
+            by_pair=dict(by_pair),
+            span_s=span,
+        )
+
+    def times(self, kind: Optional[PacketKind] = None) -> np.ndarray:
+        """Delivery timestamps, optionally filtered by kind."""
+        return np.asarray([
+            r.time for r in self.records if kind is None or r.kind is kind
+        ])

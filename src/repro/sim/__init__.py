@@ -1,0 +1,37 @@
+"""Discrete-event simulation engine (substrate).
+
+Public surface::
+
+    from repro.sim import Simulator
+    sim = Simulator(seed=42)
+
+    def worker():
+        yield sim.timeout(1e-6)
+        return "done"
+
+    proc = sim.process(worker())
+    sim.run(until=proc)
+"""
+
+from .engine import SimulationError, Simulator
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Interrupt, Process
+from .rng import RngStreams, stable_hash
+from .sync import Mailbox, Signal, SimBarrier, SimSemaphore
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Process",
+    "Interrupt",
+    "RngStreams",
+    "stable_hash",
+    "Mailbox",
+    "Signal",
+    "SimBarrier",
+    "SimSemaphore",
+]

@@ -1,0 +1,147 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` owns the event heap and the simulated clock.  All
+behaviour in the reproduction -- threads contending on locks, the MPI
+progress engine, network packet delivery -- is expressed as processes and
+events scheduled here.  Time is a ``float`` in **seconds**; the calibrated
+cost model works at nanosecond scale (1e-9).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Optional
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+from .rng import RngStreams
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when a process dies with an unhandled exception."""
+
+
+class Simulator:
+    """Event heap + clock + factory for events and processes.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the named RNG streams (see :class:`RngStreams`).
+        Two simulators constructed with the same seed and driven by the
+        same (deterministic) model produce bit-identical traces.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+        self._crashed: list = []
+        self.rng = RngStreams(seed)
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process driving ``gen``."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def call_at(self, delay: float, fn: Callable, *args) -> Event:
+        """Run ``fn(*args)`` after ``delay`` seconds (plain callback)."""
+        ev = Timeout(self, delay)
+        ev.add_callback(lambda _ev: fn(*args))
+        return ev
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+
+    def _crash(self, process: Process, exc: BaseException) -> None:
+        self._crashed.append((process, exc))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process the next event. Raises IndexError if the heap is empty."""
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise AssertionError("time went backwards")  # pragma: no cover
+        self.now = when
+        event._process()
+        if self._crashed:
+            process, exc = self._crashed.pop()
+            raise SimulationError(
+                f"process {process.name!r} died at t={self.now:.9f}s: {exc!r}"
+            ) from exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``   -- run until the event heap is empty.
+            ``float``  -- run until the clock reaches this time.
+            ``Event``  -- run until this event has been processed and
+            return its value (raising if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop = until
+            if stop.callbacks is not None:
+                # Register interest so a failing process delivers its
+                # exception here rather than crashing the event loop.
+                stop.add_callback(lambda _ev: None)
+            while not stop.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        f"simulation ran out of events before {stop!r} fired "
+                        f"(deadlock?)"
+                    )
+                self.step()
+            if not stop.ok:
+                stop._defused = True
+                raise stop.value
+            return stop.value
+
+        horizon = float(until)
+        if horizon < self.now:
+            raise ValueError(f"cannot run until {horizon} < now ({self.now})")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self.now = horizon
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def queued_events(self) -> int:
+        """Number of events still waiting on the heap."""
+        return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self.now:.9f}s queued={len(self._heap)}>"

@@ -1,0 +1,126 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` drives a Python generator: every object the generator
+yields must be an :class:`~repro.sim.events.Event`; the process suspends
+until the event fires and is resumed with the event's value (or the event's
+exception is thrown into it).  A process is itself an event that fires with
+the generator's return value, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .events import Event
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self):
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """Wraps a generator and schedules it on the simulator.
+
+    The process starts at the simulation time current when it is created
+    (it is scheduled with zero delay, so creation never runs user code
+    synchronously).
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim, gen: Generator, name: str = ""):
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise TypeError(f"Process expects a generator, got {type(gen).__name__}")
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Event | None = None
+        # Kick off via an initialization event so user code always runs
+        # from the event loop.
+        init = Event(sim, name=f"init:{self.name}")
+        init.add_callback(self._resume)
+        init.succeed()
+
+    # ------------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause=None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already terminated")
+        ev = Event(self.sim, name=f"interrupt:{self.name}")
+        # Detach from whatever we were waiting on; the stale callback
+        # becomes a no-op because _resume checks identity.
+        ev.add_callback(self._resume_interrupt)
+        ev._value = Interrupt(cause)
+        ev._ok = False
+        ev._defused = True
+        self.sim._schedule(ev, 0.0)
+        ev._scheduled = True
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event is not self._waiting_on and self._waiting_on is not None:
+            # Stale wakeup from an event we stopped waiting on (interrupt).
+            return
+        self._waiting_on = None
+        self.sim._active_process, prev = self, self.sim._active_process
+        to_throw: BaseException | None = None if event.ok else event.value
+        if not event.ok:
+            event._defused = True
+        while True:
+            try:
+                if to_throw is None:
+                    target = self._gen.send(event._value)
+                else:
+                    target = self._gen.throw(to_throw)
+            except StopIteration as stop:
+                self.sim._active_process = prev
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.sim._active_process = prev
+                if not self.callbacks:
+                    # Nobody is waiting on this process: surface in run().
+                    self.sim._crash(self, exc)
+                    self._value = exc
+                    self._ok = False
+                    self._triggered = True
+                    self.sim._schedule(self, 0.0)
+                    return
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                # Deliver the misuse as an exception at the offending yield.
+                to_throw = TypeError(
+                    f"process {self.name!r} yielded {target!r}; only Event "
+                    f"instances may be yielded"
+                )
+                continue
+            if target.sim is not self.sim:
+                to_throw = ValueError(
+                    f"process {self.name!r} yielded an event from a "
+                    f"different simulator"
+                )
+                continue
+            break
+        self.sim._active_process = prev
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _resume_interrupt(self, event: Event) -> None:
+        # Interrupt delivery: bypass the identity check on _waiting_on.
+        if self.triggered:
+            return
+        self._waiting_on = event
+        self._resume(event)

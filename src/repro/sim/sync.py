@@ -1,0 +1,128 @@
+"""Synchronization helpers built on the event primitives.
+
+These are *modeling* conveniences for workload code (e.g. the OpenMP-style
+barrier at the end of a stencil iteration).  They are distinct from the
+locks under :mod:`repro.locks`, which model the *subject* of the paper --
+hardware-arbitrated critical sections with NUMA-dependent hand-off.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from .engine import Simulator
+from .events import Event
+
+__all__ = ["Signal", "SimBarrier", "SimSemaphore", "Mailbox"]
+
+
+class Signal:
+    """A re-armable broadcast: ``wait()`` returns an event fired by ``fire()``."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._event = sim.event(name=name)
+
+    def wait(self) -> Event:
+        return self._event
+
+    def fire(self, value: Any = None) -> None:
+        ev, self._event = self._event, self.sim.event(name=self.name)
+        ev.succeed(value)
+
+
+class SimBarrier:
+    """An N-party barrier: the Nth arrival releases everyone.
+
+    Models intra-process thread barriers (e.g. ``#pragma omp barrier``) with
+    an optional per-arrival overhead charged by the caller.
+    """
+
+    def __init__(self, sim: Simulator, parties: int, name: str = ""):
+        if parties < 1:
+            raise ValueError("barrier needs at least 1 party")
+        self.sim = sim
+        self.parties = parties
+        self.name = name
+        self._arrived = 0
+        self._event = sim.event(name=name)
+        self.generation = 0
+
+    def arrive(self) -> Event:
+        """Register arrival; returns the event releasing this generation."""
+        ev = self._event
+        self._arrived += 1
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self.generation += 1
+            self._event = self.sim.event(name=self.name)
+            ev.succeed(self.generation)
+        return ev
+
+
+class SimSemaphore:
+    """Counting semaphore with FIFO wakeup order."""
+
+    def __init__(self, sim: Simulator, value: int = 1, name: str = ""):
+        if value < 0:
+            raise ValueError("initial value must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._value = value
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> Event:
+        ev = self.sim.event(name=f"sem:{self.name}")
+        if self._value > 0:
+            self._value -= 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._value += 1
+
+
+class Mailbox:
+    """An unbounded FIFO channel between processes.
+
+    ``put`` never blocks; ``get`` returns an event fired with the oldest
+    item.  Used for in-simulation plumbing (e.g. NIC receive queues).
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: deque = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = self.sim.event(name=f"mbox:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Any:
+        """Non-blocking pop; returns None when empty."""
+        return self._items.popleft() if self._items else None

@@ -1,0 +1,36 @@
+"""Benchmarks and application kernels (the paper's evaluation subjects).
+
+* :mod:`throughput` -- multithreaded osu_bw derivative (paper 4.1)
+* :mod:`latency`    -- multithreaded osu_latency derivative (paper 6.1.1)
+* :mod:`n2n`        -- all-to-all streaming benchmark (paper 5.2)
+* :mod:`rma_bench`  -- ARMCI-style RMA with async progress (paper 6.1.2)
+* :mod:`bfs`        -- Graph500 BFS kernel (paper 6.2.1)
+* :mod:`stencil`    -- 3D 7-point heat stencil (paper 6.2.2)
+* :mod:`assembly`   -- mini SWAP genome assembler (paper 6.3)
+"""
+
+from .latency import LatencyConfig, LatencyResult, run_latency
+from .n2n import N2NConfig, N2NResult, run_n2n
+from .rma_bench import RmaConfig, RmaResult, run_rma
+from .throughput import (
+    ThroughputConfig,
+    ThroughputResult,
+    run_throughput,
+    throughput_cluster,
+)
+
+__all__ = [
+    "ThroughputConfig",
+    "ThroughputResult",
+    "run_throughput",
+    "throughput_cluster",
+    "LatencyConfig",
+    "LatencyResult",
+    "run_latency",
+    "N2NConfig",
+    "N2NResult",
+    "run_n2n",
+    "RmaConfig",
+    "RmaResult",
+    "run_rma",
+]

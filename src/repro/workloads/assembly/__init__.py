@@ -1,0 +1,11 @@
+"""Mini SWAP genome assembler: reads, k-mer graph, 2-thread ranks."""
+
+from .assembler import AssemblyConfig, AssemblyResult, run_assembly
+from .kmer_graph import KmerTable, kmer_owner, kmerize
+from .reads import ReadSet, generate_reads
+
+__all__ = [
+    "AssemblyConfig", "AssemblyResult", "run_assembly",
+    "KmerTable", "kmer_owner", "kmerize",
+    "ReadSet", "generate_reads",
+]

@@ -1,0 +1,92 @@
+"""Distributed de Bruijn graph pieces for the mini-SWAP assembler.
+
+Each (k)-mer is owned by ``hash(kmer) % n_ranks``; a rank accumulates its
+k-mers' multiplicities and successor/predecessor base sets, from which
+unambiguous unitigs (linear chains) can be counted -- the core data
+structure of de Bruijn assemblers like SWAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ...sim.rng import stable_hash
+
+__all__ = ["kmerize", "kmer_owner", "KmerTable"]
+
+
+def kmerize(read: str, k: int) -> List[Tuple[str, str, str]]:
+    """(kmer, predecessor base or '', successor base or '') per position."""
+    if k < 2 or k > len(read):
+        raise ValueError(f"bad k={k} for read of length {len(read)}")
+    out = []
+    for i in range(len(read) - k + 1):
+        kmer = read[i:i + k]
+        pred = read[i - 1] if i > 0 else ""
+        succ = read[i + k] if i + k < len(read) else ""
+        out.append((kmer, pred, succ))
+    return out
+
+
+def kmer_owner(kmer: str, n_ranks: int) -> int:
+    return stable_hash(kmer) % n_ranks
+
+
+@dataclass
+class KmerNode:
+    count: int = 0
+    preds: Set[str] = field(default_factory=set)
+    succs: Set[str] = field(default_factory=set)
+
+
+class KmerTable:
+    """One rank's shard of the distributed k-mer graph."""
+
+    def __init__(self, rank: int, n_ranks: int, k: int):
+        self.rank = rank
+        self.n_ranks = n_ranks
+        self.k = k
+        self.nodes: Dict[str, KmerNode] = {}
+
+    def insert(self, kmer: str, pred: str, succ: str) -> None:
+        node = self.nodes.get(kmer)
+        if node is None:
+            node = self.nodes[kmer] = KmerNode()
+        node.count += 1
+        if pred:
+            node.preds.add(pred)
+        if succ:
+            node.succs.add(succ)
+
+    def insert_batch(self, items: Iterable[Tuple[str, str, str]]) -> int:
+        n = 0
+        for kmer, pred, succ in items:
+            self.insert(kmer, pred, succ)
+            n += 1
+        return n
+
+    @property
+    def n_kmers(self) -> int:
+        return len(self.nodes)
+
+    def n_branching(self) -> int:
+        """K-mers with more than one predecessor or successor base."""
+        return sum(
+            1 for nd in self.nodes.values()
+            if len(nd.preds) > 1 or len(nd.succs) > 1
+        )
+
+    def count_chain_ends(self) -> int:
+        """Local count of unitig endpoints: nodes that terminate or branch.
+
+        Every unitig has two endpoints, so (global sum + 1) // 2 bounds
+        the number of unitigs; exact assembly would walk the chains.
+        """
+        ends = 0
+        for nd in self.nodes.values():
+            if len(nd.succs) != 1:
+                ends += 1
+            if len(nd.preds) != 1:
+                ends += 1
+        return ends

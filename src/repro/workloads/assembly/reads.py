@@ -1,0 +1,56 @@
+"""Synthetic sequencing data (substitute for the paper's 1M-read set).
+
+The paper's SWAP-Assembler experiment processes a synthetic sequence of
+1 million 36-nucleotide reads.  We generate an equivalent dataset: a
+random reference genome and uniformly sampled fixed-length reads with an
+optional per-base error rate, all seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReadSet", "generate_reads", "BASES"]
+
+BASES = np.frombuffer(b"ACGT", dtype="S1")
+
+
+@dataclass(frozen=True)
+class ReadSet:
+    genome: str
+    reads: list
+    read_length: int
+
+    @property
+    def n_reads(self) -> int:
+        return len(self.reads)
+
+
+def generate_reads(
+    genome_length: int = 10_000,
+    n_reads: int = 2_000,
+    read_length: int = 36,
+    error_rate: float = 0.0,
+    seed: int = 7,
+) -> ReadSet:
+    """Sample ``n_reads`` reads of ``read_length`` from a random genome."""
+    if read_length > genome_length:
+        raise ValueError("reads longer than genome")
+    rng = np.random.default_rng(seed)
+    genome_arr = BASES[rng.integers(0, 4, genome_length)]
+    genome = b"".join(genome_arr).decode()
+
+    starts = rng.integers(0, genome_length - read_length + 1, n_reads)
+    reads = []
+    for s in starts:
+        r = genome[s:s + read_length]
+        if error_rate > 0.0:
+            chars = list(r)
+            errs = rng.random(read_length) < error_rate
+            for i in np.flatnonzero(errs):
+                chars[i] = "ACGT"[rng.integers(0, 4)]
+            r = "".join(chars)
+        reads.append(r)
+    return ReadSet(genome=genome, reads=reads, read_length=read_length)

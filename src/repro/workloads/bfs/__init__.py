@@ -1,0 +1,6 @@
+"""Graph500 BFS kernel: Kronecker generation + hybrid level-sync BFS."""
+
+from .graph_gen import GraphCSR, generate_graph
+from .runner import BfsConfig, BfsResult, run_bfs
+
+__all__ = ["GraphCSR", "generate_graph", "BfsConfig", "BfsResult", "run_bfs"]

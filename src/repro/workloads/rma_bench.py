@@ -1,0 +1,75 @@
+"""ARMCI-style RMA benchmark with asynchronous progress (paper 6.1.2).
+
+One origin process performs blocking contiguous RMA operations (put, get
+or accumulate) to the other processes round-robin; every rank runs
+MPICH's forked asynchronous progress thread, so two threads contend for
+each rank's critical section -- and the origin's progress thread, which
+"does not do useful work most of the time", monopolizes a mutex-guarded
+runtime and starves the operation-issuing thread (the paper's 5x case,
+Fig. 9).
+
+The metric is the data transfer rate in 10^3 elements/s (one operation
+per element, as in the paper's contiguous ARMCI benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..mpi.rma import allocate_windows
+from ..mpi.world import Cluster
+
+__all__ = ["RmaConfig", "RmaResult", "run_rma"]
+
+
+@dataclass(frozen=True)
+class RmaConfig:
+    op: str = "put"             # put | get | acc
+    element_size: int = 8
+    n_ops: int = 64
+
+
+@dataclass(frozen=True)
+class RmaResult:
+    op: str
+    element_size: int
+    n_ops: int
+    elapsed_s: float
+    #: Transfer rate in 10^3 elements/s.
+    rate_k: float
+
+
+_OPS = {"put": "put", "get": "get", "acc": "accumulate"}
+
+
+def run_rma(cluster: Cluster, cfg: Optional[RmaConfig] = None) -> RmaResult:
+    cfg = cfg or RmaConfig()
+    if cfg.op not in _OPS:
+        raise ValueError(f"unknown RMA op {cfg.op!r}; expected one of {sorted(_OPS)}")
+    if cluster.n_ranks < 2:
+        raise ValueError("RMA benchmark needs at least 2 ranks")
+    if not cluster.config.async_progress:
+        raise ValueError(
+            "the paper's RMA benchmark runs with async_progress=True "
+            "(ClusterConfig(async_progress=True))"
+        )
+    windows = allocate_windows(cluster.runtimes)
+    origin = cluster.thread(0)
+    targets = list(range(1, cluster.n_ranks))
+
+    def origin_loop():
+        op = getattr(windows[0], _OPS[cfg.op])
+        for i in range(cfg.n_ops):
+            yield from op(origin, targets[i % len(targets)], cfg.element_size)
+
+    t0 = cluster.sim.now
+    cluster.run_workload([origin_loop()], name=f"rma-{cfg.op}")
+    elapsed = cluster.sim.now - t0
+    return RmaResult(
+        op=cfg.op,
+        element_size=cfg.element_size,
+        n_ops=cfg.n_ops,
+        elapsed_s=elapsed,
+        rate_k=cfg.n_ops / elapsed / 1e3,
+    )

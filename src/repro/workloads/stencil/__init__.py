@@ -1,0 +1,11 @@
+"""3D 7-point heat stencil: decomposition, kernel, hybrid runner."""
+
+from .decomposition import RankBox, decompose, factor_ranks
+from .kernel import FLOPS_PER_CELL, step_interior
+from .runner import StencilConfig, StencilResult, run_stencil
+
+__all__ = [
+    "RankBox", "decompose", "factor_ranks",
+    "FLOPS_PER_CELL", "step_interior",
+    "StencilConfig", "StencilResult", "run_stencil",
+]

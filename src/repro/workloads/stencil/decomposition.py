@@ -1,0 +1,104 @@
+"""3D domain decomposition for the stencil kernel (paper 6.2.2).
+
+The paper divides the global domain along all dimensions to cut internode
+communication, while avoiding splits along the most strided dimension for
+cache friendliness.  We factor the rank count into a (pz, py, px) grid
+preferring to split the slowest-varying axes first (z, then y, then x),
+so the unit-stride x axis is split last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["RankBox", "factor_ranks", "decompose"]
+
+
+@dataclass(frozen=True)
+class RankBox:
+    """One rank's subdomain: half-open index ranges per axis (z, y, x)."""
+
+    rank: int
+    coords: Tuple[int, int, int]
+    grid: Tuple[int, int, int]
+    lo: Tuple[int, int, int]
+    hi: Tuple[int, int, int]
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def n_cells(self) -> int:
+        s = self.shape
+        return s[0] * s[1] * s[2]
+
+    def neighbor_rank(self, axis: int, direction: int) -> "int | None":
+        """Rank of the face neighbor along ``axis`` (+1/-1), or None at
+        the domain boundary (non-periodic)."""
+        c = list(self.coords)
+        c[axis] += direction
+        if not (0 <= c[axis] < self.grid[axis]):
+            return None
+        pz, py, px = self.grid
+        return (c[0] * py + c[1]) * px + c[2]
+
+
+def factor_ranks(p: int) -> Tuple[int, int, int]:
+    """Factor ``p`` into (pz, py, px), splitting z first, x last."""
+    if p < 1:
+        raise ValueError("need at least one rank")
+    dims = [1, 1, 1]
+    remaining = p
+    # Greedy: repeatedly give the smallest prime factor to the axis with
+    # the fewest cuts, preferring z > y > x on ties.
+    factors: List[int] = []
+    n = remaining
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    for f in sorted(factors, reverse=True):
+        axis = min(range(3), key=lambda a: (dims[a], a))
+        dims[axis] *= f
+    return tuple(dims)
+
+
+def _split(extent: int, parts: int, idx: int) -> Tuple[int, int]:
+    base = extent // parts
+    extra = extent % parts
+    lo = idx * base + min(idx, extra)
+    hi = lo + base + (1 if idx < extra else 0)
+    return lo, hi
+
+
+def decompose(n: Tuple[int, int, int], p: int) -> List[RankBox]:
+    """Decompose an (nz, ny, nx) domain over ``p`` ranks."""
+    grid = factor_ranks(p)
+    for axis in range(3):
+        if grid[axis] > n[axis]:
+            raise ValueError(
+                f"cannot split axis {axis} of extent {n[axis]} into {grid[axis]}"
+            )
+    boxes = []
+    pz, py, px = grid
+    for rank in range(p):
+        cz = rank // (py * px)
+        cy = (rank // px) % py
+        cx = rank % px
+        lo_hi = [_split(n[a], grid[a], c) for a, c in zip(range(3), (cz, cy, cx))]
+        boxes.append(
+            RankBox(
+                rank=rank,
+                coords=(cz, cy, cx),
+                grid=grid,
+                lo=tuple(lh[0] for lh in lo_hi),
+                hi=tuple(lh[1] for lh in lo_hi),
+            )
+        )
+    return boxes

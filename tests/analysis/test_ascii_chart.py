@@ -1,0 +1,66 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import ascii_chart
+
+
+def test_basic_render_contains_markers_and_legend():
+    out = ascii_chart({
+        "a": [(1, 10), (10, 100), (100, 1000)],
+        "b": [(1, 20), (10, 50), (100, 500)],
+    }, title="T")
+    assert out.splitlines()[0] == "T"
+    assert "o a" in out and "x b" in out
+    assert out.count("o") >= 3  # three points plus legend
+
+
+def test_extremes_land_on_edges():
+    out = ascii_chart({"s": [(1, 1), (1000, 1000)]}, width=20, height=8)
+    lines = out.splitlines()
+    # Max point on the top row, min point on the bottom row.
+    assert "o" in lines[0]
+    grid_rows = [l for l in lines if "|" in l]
+    assert "o" in grid_rows[-1]
+
+
+def test_axis_labels_present():
+    out = ascii_chart({"s": [(1, 2), (4, 8)]},
+                      xlabel="size", ylabel="rate")
+    assert "x: size" in out and "y: rate" in out
+
+
+def test_linear_scale_allows_zero():
+    out = ascii_chart({"s": [(0, 0), (5, 10)]}, logx=False, logy=False)
+    assert "|" in out
+
+
+def test_log_scale_rejects_nonpositive():
+    with pytest.raises(ValueError, match="positive"):
+        ascii_chart({"s": [(0, 1)]})
+    with pytest.raises(ValueError, match="positive"):
+        ascii_chart({"s": [(1, -5)]})
+
+
+def test_empty_inputs_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"s": []})
+
+
+def test_too_small_rejected():
+    with pytest.raises(ValueError, match="too small"):
+        ascii_chart({"s": [(1, 1)]}, width=4, height=2)
+
+
+def test_constant_series_does_not_crash():
+    out = ascii_chart({"s": [(1, 5), (10, 5), (100, 5)]})
+    assert "o" in out
+
+
+def test_many_series_cycle_markers():
+    series = {f"s{i}": [(1, i + 1), (10, 10 * (i + 1))] for i in range(10)}
+    out = ascii_chart(series)
+    # 10 series with an 8-marker alphabet: markers repeat but all appear.
+    assert "s0" in out and "s9" in out

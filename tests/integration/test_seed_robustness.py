@@ -1,0 +1,21 @@
+"""The reproduced shapes must hold across seeds, not just seed 1.
+
+Runs the cheapest experiments under two additional seeds; anything
+seed-sensitive here would mean the calibration was overfit to one
+random stream.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+CHEAP = ["fig2b", "fig5a", "fig5b", "fig10a", "fig11a", "fig11b"]
+
+
+@pytest.mark.parametrize("name", CHEAP)
+@pytest.mark.parametrize("seed", [2, 3])
+def test_shape_checks_hold_across_seeds(name, seed):
+    result = run_experiment(name, quick=True, seed=seed)
+    assert result.ok, (
+        f"{name} seed={seed} failed: {result.failed_checks()}\n{result.format()}"
+    )

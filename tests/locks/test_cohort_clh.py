@@ -1,0 +1,148 @@
+"""Behavioural tests for the CLH and cohort locks (extensions)."""
+
+import pytest
+
+from repro.locks import CLHLock, CohortTicketLock, LockTrace, TicketLock
+from repro.machine import NS, CostModel, ThreadCtx, nehalem_node, scatter_binding
+from repro.sim import Simulator
+
+from ..conftest import hammer, make_threads
+
+
+def test_clh_fifo_order(sim, machine, costs):
+    lock = CLHLock(sim, costs)
+    threads = make_threads(machine, 4)
+    order = []
+
+    def worker(ctx, delay):
+        yield sim.timeout(delay)
+        yield from lock.acquire(ctx)
+        order.append(ctx.name)
+        yield sim.timeout(1000 * NS)
+        lock.release(ctx)
+
+    for i, t in enumerate(threads):
+        sim.process(worker(t, i * 100 * NS))
+    sim.run()
+    assert order == ["t0", "t1", "t2", "t3"]
+
+
+def test_clh_matches_mcs_performance(machine, costs):
+    """CLH and MCS differ only in which line carries the hand-off; the
+    model treats them identically."""
+    from repro.locks import MCSLock
+
+    def total(cls):
+        s = Simulator(seed=2)
+        lock = cls(s, costs)
+        threads = make_threads(machine, 4)
+
+        def worker(ctx):
+            for _ in range(100):
+                yield from lock.acquire(ctx)
+                yield s.timeout(150 * NS)
+                lock.release(ctx)
+                yield s.timeout(30 * NS)
+
+        for t in threads:
+            s.process(worker(t))
+        s.run()
+        return s.now
+
+    assert total(CLHLock) == pytest.approx(total(MCSLock), rel=0.05)
+
+
+def test_cohort_bad_handover_rejected(sim, costs):
+    with pytest.raises(ValueError):
+        CohortTicketLock(sim, costs, max_handover=0)
+
+
+def test_cohort_batches_local_handoffs(sim, machine, costs):
+    """With waiters on both sockets, hand-offs stay local up to the
+    handover bound, so local transfers dominate."""
+    lock = CohortTicketLock(sim, costs, max_handover=4)
+    threads = make_threads(machine, 8)  # compact: 4 + 4 per socket
+
+    def worker(ctx):
+        for _ in range(50):
+            yield from lock.acquire(ctx)
+            yield sim.timeout(150 * NS)
+            lock.release(ctx)
+            yield sim.timeout(20 * NS)
+
+    for t in threads:
+        sim.process(worker(t))
+    sim.run()
+    assert lock.local_handoffs > 2 * lock.remote_handoffs
+    assert lock.remote_handoffs > 0  # the bound forces migrations
+
+
+def test_cohort_bounded_starvation(machine, costs):
+    """Unlike SocketAwareLock, the cohort lock cannot capture a socket:
+    acquisition counts stay balanced across sockets."""
+    s = Simulator(seed=3)
+    trace = LockTrace()
+    lock = CohortTicketLock(s, costs, trace=trace, max_handover=8)
+    threads = make_threads(machine, 4, binding=scatter_binding)
+    got = {t.tid: 0 for t in threads}
+
+    def worker(ctx):
+        while s.now < 100e-6:
+            yield from lock.acquire(ctx)
+            got[ctx.tid] += 1
+            yield s.timeout(200 * NS)
+            lock.release(ctx)
+            yield s.timeout(10 * NS)
+
+    for t in threads:
+        s.process(worker(t))
+    s.run()
+    per_socket = {0: 0, 1: 0}
+    for t in threads:
+        per_socket[t.socket] += got[t.tid]
+    lo, hi = sorted(per_socket.values())
+    assert hi <= 1.5 * lo  # bounded imbalance (socket-aware was > 5x)
+
+
+def test_cohort_faster_than_ticket_under_scatter(machine, costs):
+    """Batching intersocket hand-offs pays off exactly where the paper
+    found the ticket lock weakest (scatter bindings, 5.1)."""
+
+    def total(kind_cls, **kw):
+        s = Simulator(seed=5)
+        lock = kind_cls(s, costs, **kw)
+        threads = make_threads(machine, 8, binding=scatter_binding)
+
+        def worker(ctx):
+            for _ in range(200):
+                yield from lock.acquire(ctx)
+                yield s.timeout(150 * NS)
+                lock.release(ctx)
+                yield s.timeout(20 * NS)
+
+        for t in threads:
+            s.process(worker(t))
+        s.run()
+        return s.now
+
+    t_ticket = total(TicketLock)
+    t_cohort = total(CohortTicketLock, max_handover=8)
+    assert t_cohort < t_ticket
+
+
+def test_cohort_streak_resets_when_remote_queue_empty(sim, machine, costs):
+    """All-local traffic never migrates (no remote waiters)."""
+    lock = CohortTicketLock(sim, costs, max_handover=2)
+    threads = make_threads(machine, 4)  # all socket 0
+
+    def worker(ctx):
+        for _ in range(20):
+            yield from lock.acquire(ctx)
+            yield sim.timeout(100 * NS)
+            lock.release(ctx)
+            yield sim.timeout(20 * NS)
+
+    for t in threads:
+        sim.process(worker(t))
+    sim.run()
+    assert lock.remote_handoffs == 0

@@ -1,0 +1,172 @@
+"""Collective operations over the simulated runtime."""
+
+import operator
+
+import pytest
+
+from repro.mpi import Cluster, ClusterConfig, Communicator
+from repro.mpi.collectives import allreduce, alltoall, barrier, bcast, reduce
+
+
+def make_cluster(n_ranks, **kw):
+    defaults = dict(n_nodes=n_ranks, ranks_per_node=1, lock="ticket", seed=9)
+    defaults.update(kw)
+    return Cluster(ClusterConfig(**defaults))
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+def test_barrier_synchronizes(p):
+    cl = make_cluster(p)
+    exit_times = {}
+
+    def party(rank, delay):
+        th = cl.thread(rank)
+
+        def gen():
+            yield th.compute(delay)
+            yield from barrier(th, cl.world)
+            exit_times[rank] = cl.sim.now
+        return gen()
+
+    cl.run_workload([party(r, r * 1e-4) for r in range(p)])
+    slowest_entry = (p - 1) * 1e-4
+    for r in range(p):
+        assert exit_times[r] >= slowest_entry
+
+
+@pytest.mark.parametrize("p", [2, 4, 5, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast_delivers_root_value(p, root):
+    cl = make_cluster(p)
+    got = {}
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            v = "payload" if rank == root else None
+            v = yield from bcast(th, cl.world, v, root=root, nbytes=64)
+            got[rank] = v
+        return gen()
+
+    cl.run_workload([party(r) for r in range(p)])
+    assert got == {r: "payload" for r in range(p)}
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 8])
+def test_reduce_sums_to_root(p):
+    cl = make_cluster(p)
+    got = {}
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            v = yield from reduce(th, cl.world, rank + 1, operator.add, root=0)
+            got[rank] = v
+        return gen()
+
+    cl.run_workload([party(r) for r in range(p)])
+    assert got[0] == p * (p + 1) // 2
+    for r in range(1, p):
+        assert got[r] is None
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 6, 8])
+def test_allreduce_everyone_gets_total(p):
+    cl = make_cluster(p)
+    got = {}
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            got[rank] = yield from allreduce(th, cl.world, 2 ** rank, operator.add)
+        return gen()
+
+    cl.run_workload([party(r) for r in range(p)])
+    expected = 2 ** p - 1
+    assert all(v == expected for v in got.values())
+
+
+def test_allreduce_with_max_op():
+    p = 4
+    cl = make_cluster(p)
+    got = {}
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            got[rank] = yield from allreduce(th, cl.world, rank * 10, max)
+        return gen()
+
+    cl.run_workload([party(r) for r in range(p)])
+    assert set(got.values()) == {30}
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 8])
+def test_alltoall_exchanges_all_pairs(p):
+    cl = make_cluster(p)
+    got = {}
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            vals = [f"{rank}->{d}" for d in range(p)]
+            got[rank] = yield from alltoall(th, cl.world, vals, nbytes_each=32)
+        return gen()
+
+    cl.run_workload([party(r) for r in range(p)])
+    for r in range(p):
+        assert got[r] == [f"{s}->{r}" for s in range(p)]
+
+
+def test_alltoall_wrong_arity_raises():
+    cl = make_cluster(2)
+    th = cl.thread(0)
+
+    def gen():
+        yield from alltoall(th, cl.world, ["only-one"], nbytes_each=8)
+
+    p = cl.sim.process(gen())
+    with pytest.raises(ValueError):
+        cl.sim.run(until=p)
+
+
+def test_consecutive_collectives_do_not_cross_match():
+    """Back-to-back collectives use distinct tag generations."""
+    p = 4
+    cl = make_cluster(p)
+    got = {}
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            a = yield from allreduce(th, cl.world, rank, operator.add)
+            yield from barrier(th, cl.world)
+            b = yield from allreduce(th, cl.world, rank * 100, operator.add)
+            got[rank] = (a, b)
+        return gen()
+
+    cl.run_workload([party(r) for r in range(p)])
+    assert all(v == (6, 600) for v in got.values())
+
+
+def test_subcommunicator_collective():
+    """A collective over a strict subset of ranks leaves others alone."""
+    cl = make_cluster(4)
+    sub = Communicator(id=1, ranks=(1, 3))
+    got = {}
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            got[rank] = yield from allreduce(th, sub, rank, operator.add)
+        return gen()
+
+    cl.run_workload([party(1), party(3)])
+    assert got == {1: 4, 3: 4}

@@ -1,0 +1,156 @@
+"""Tests for the extended collectives: gather, scatter, allgather, scan."""
+
+import operator
+
+import pytest
+
+from repro.mpi import Cluster, ClusterConfig, Communicator
+from repro.mpi.collectives import allgather, gather, scan, scatter
+
+
+def make_cluster(n_ranks, **kw):
+    defaults = dict(n_nodes=n_ranks, ranks_per_node=1, lock="ticket", seed=13)
+    defaults.update(kw)
+    return Cluster(ClusterConfig(**defaults))
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_gather_collects_in_rank_order(p, root):
+    if root >= p:
+        pytest.skip("root outside communicator")
+    cl = make_cluster(p)
+    got = {}
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            got[rank] = yield from gather(th, cl.world, rank * 11, root=root)
+        return gen()
+
+    cl.run_workload([party(r) for r in range(p)])
+    assert got[root] == [r * 11 for r in range(p)]
+    for r in range(p):
+        if r != root:
+            assert got[r] is None
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+@pytest.mark.parametrize("root", [0, 2])
+def test_scatter_distributes_in_rank_order(p, root):
+    if root >= p:
+        pytest.skip("root outside communicator")
+    cl = make_cluster(p)
+    got = {}
+    values = [f"slice-{i}" for i in range(p)]
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            v = values if rank == root else None
+            got[rank] = yield from scatter(th, cl.world, v, root=root)
+        return gen()
+
+    cl.run_workload([party(r) for r in range(p)])
+    assert got == {r: f"slice-{r}" for r in range(p)}
+
+
+def test_scatter_root_must_supply_all_values():
+    cl = make_cluster(2)
+    th = cl.thread(0)
+
+    def gen():
+        yield from scatter(th, cl.world, ["only-one"], root=0)
+
+    proc = cl.sim.process(gen())
+    with pytest.raises(ValueError, match="must supply"):
+        cl.sim.run(until=proc)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 6, 8])
+def test_allgather_everyone_gets_everything(p):
+    cl = make_cluster(p)
+    got = {}
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            got[rank] = yield from allgather(th, cl.world, rank ** 2)
+        return gen()
+
+    cl.run_workload([party(r) for r in range(p)])
+    expected = [r ** 2 for r in range(p)]
+    assert all(v == expected for v in got.values())
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+def test_scan_inclusive_prefix_sums(p):
+    cl = make_cluster(p)
+    got = {}
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            got[rank] = yield from scan(th, cl.world, rank + 1, operator.add)
+        return gen()
+
+    cl.run_workload([party(r) for r in range(p)])
+    for r in range(p):
+        assert got[r] == sum(range(1, r + 2))
+
+
+def test_scan_with_noncommutative_op():
+    """Scan must apply the operator in rank order (string concat)."""
+    p = 4
+    cl = make_cluster(p)
+    got = {}
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            got[rank] = yield from scan(th, cl.world, chr(ord("a") + rank),
+                                        operator.add)
+        return gen()
+
+    cl.run_workload([party(r) for r in range(p)])
+    assert got == {0: "a", 1: "ab", 2: "abc", 3: "abcd"}
+
+
+def test_gather_then_scatter_roundtrip():
+    p = 4
+    cl = make_cluster(p)
+    got = {}
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            vals = yield from gather(th, cl.world, rank * 3, root=0)
+            out = yield from scatter(th, cl.world, vals, root=0)
+            got[rank] = out
+        return gen()
+
+    cl.run_workload([party(r) for r in range(p)])
+    assert got == {r: r * 3 for r in range(p)}
+
+
+def test_collectives_on_subcommunicator():
+    cl = make_cluster(4)
+    sub = Communicator(id=2, ranks=(3, 1))
+    got = {}
+
+    def party(rank):
+        th = cl.thread(rank)
+
+        def gen():
+            got[rank] = yield from allgather(th, sub, rank)
+        return gen()
+
+    cl.run_workload([party(3), party(1)])
+    # Ordered by position in the communicator: (3, 1).
+    assert got[3] == [3, 1] and got[1] == [3, 1]

@@ -1,0 +1,50 @@
+"""Envelope matching semantics."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, Envelope, matches
+
+
+def test_exact_match():
+    assert matches(Envelope(1, 5, 0), Envelope(1, 5, 0))
+
+
+def test_source_mismatch():
+    assert not matches(Envelope(1, 5, 0), Envelope(2, 5, 0))
+
+
+def test_tag_mismatch():
+    assert not matches(Envelope(1, 5, 0), Envelope(1, 6, 0))
+
+
+def test_comm_mismatch_never_matches():
+    assert not matches(Envelope(1, 5, 0), Envelope(1, 5, 1))
+    # ... even with wildcards
+    assert not matches(Envelope(ANY_SOURCE, ANY_TAG, 0), Envelope(1, 5, 1))
+
+
+def test_any_source_wildcard():
+    assert matches(Envelope(ANY_SOURCE, 5, 0), Envelope(3, 5, 0))
+    assert not matches(Envelope(ANY_SOURCE, 5, 0), Envelope(3, 4, 0))
+
+
+def test_any_tag_wildcard():
+    assert matches(Envelope(2, ANY_TAG, 0), Envelope(2, 99, 0))
+    assert not matches(Envelope(2, ANY_TAG, 0), Envelope(3, 99, 0))
+
+
+def test_double_wildcard():
+    assert matches(Envelope(ANY_SOURCE, ANY_TAG, 0), Envelope(7, 42, 0))
+
+
+def test_incoming_must_be_concrete():
+    with pytest.raises(ValueError):
+        matches(Envelope(1, 1, 0), Envelope(ANY_SOURCE, 1, 0))
+    with pytest.raises(ValueError):
+        matches(Envelope(1, 1, 0), Envelope(1, ANY_TAG, 0))
+
+
+def test_is_concrete():
+    assert Envelope(0, 0, 0).is_concrete()
+    assert not Envelope(ANY_SOURCE, 0, 0).is_concrete()
+    assert not Envelope(0, ANY_TAG, 0).is_concrete()

@@ -1,0 +1,94 @@
+"""Tests for the brief-global critical-section granularity (paper Fig. 1)."""
+
+import pytest
+
+from repro.mpi import Cluster, ClusterConfig
+from repro.mpi.runtime import MpiRuntime
+from repro.workloads import ThroughputConfig, run_throughput
+
+
+def make_cluster(gran="brief", **kw):
+    defaults = dict(n_nodes=2, threads_per_rank=2, lock="ticket",
+                    seed=7, cs_granularity=gran)
+    defaults.update(kw)
+    return Cluster(ClusterConfig(**defaults))
+
+
+def test_invalid_granularity_rejected():
+    with pytest.raises(ValueError, match="cs_granularity"):
+        make_cluster(gran="fine")
+
+
+def test_pt2pt_semantics_unchanged():
+    cl = make_cluster()
+    t0, t1 = cl.thread(0), cl.thread(1)
+    out = {}
+
+    def sender():
+        yield from t0.send(1, 4096, tag=2, data=[1, 2, 3])
+
+    def receiver():
+        out["v"] = yield from t1.recv(source=0, tag=2)
+
+    cl.run_workload([sender(), receiver()])
+    assert out["v"] == [1, 2, 3]
+
+
+def test_unexpected_path_with_brief_sections():
+    cl = make_cluster()
+    t0, t1 = cl.thread(0), cl.thread(1)
+    out = {}
+
+    def sender():
+        yield from t0.send(1, 2048, tag=1, data="early")
+        yield from t0.send(1, 64, tag=9, data="marker")
+
+    def receiver():
+        yield from t1.recv(source=0, tag=9)
+        req = yield from t1.irecv(source=0, tag=1)
+        out["unexpected"] = req.unexpected
+        yield from t1.wait(req)
+        out["v"] = req.data
+
+    cl.run_workload([sender(), receiver()])
+    assert out["unexpected"] is True
+    assert out["v"] == "early"
+
+
+def test_message_counts_preserved_under_contention():
+    cfg = ThroughputConfig(msg_size=4096, n_windows=3)
+    for gran in ("global", "brief"):
+        cl = make_cluster(gran=gran, threads_per_rank=4)
+        res = run_throughput(cl, cfg)
+        assert res.total_messages == 4 * 64 * 3
+        for rt in cl.runtimes:
+            assert rt.dangling_count == 0
+
+
+def test_brief_improves_copy_bound_throughput():
+    cfg = ThroughputConfig(msg_size=8192, n_windows=3)
+    g = run_throughput(make_cluster(gran="global", threads_per_rank=8), cfg)
+    b = run_throughput(make_cluster(gran="brief", threads_per_rank=8), cfg)
+    assert b.msg_rate_k > 1.3 * g.msg_rate_k
+
+
+def test_brief_no_effect_on_inline_messages():
+    """Inline sends have no payload copy, so granularity is moot."""
+    cfg = ThroughputConfig(msg_size=8, n_windows=3)
+    g = run_throughput(make_cluster(gran="global", threads_per_rank=4), cfg)
+    b = run_throughput(make_cluster(gran="brief", threads_per_rank=4), cfg)
+    assert b.msg_rate_k == pytest.approx(g.msg_rate_k, rel=0.05)
+
+
+def test_runtime_rejects_bad_granularity_directly():
+    from repro.machine import CostModel
+    from repro.network import Fabric
+    from repro.sim import Simulator
+    from repro.locks import make_lock
+
+    sim = Simulator()
+    fab = Fabric(sim)
+    nic = fab.register_rank(0, 0)
+    with pytest.raises(ValueError):
+        MpiRuntime(sim, 0, fab, nic, make_lock("ticket", sim, CostModel()),
+                   CostModel(), cs_granularity="nope")

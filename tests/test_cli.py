@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2a" in out and "fig12b" in out
+
+
+def test_spec_prints_table1(capsys):
+    assert main(["spec"]) == 0
+    out = capsys.readouterr().out
+    assert "Nehalem" in out
+    assert "Xeon E5540" in out
+    assert "Mellanox QDR" in out
+
+
+def test_locks_lists_all_methods(capsys):
+    assert main(["locks"]) == 0
+    out = capsys.readouterr().out
+    for name in ("mutex", "ticket", "priority", "mcs", "cohort", "clh"):
+        assert name in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "fig2b"]) == 0
+    out = capsys.readouterr().out
+    assert "compact" in out and "scatter" in out
+    assert "[PASS]" in out
+
+
+def test_throughput_command(capsys):
+    assert main(["throughput", "--lock", "ticket", "--threads", "2",
+                 "--size", "64", "--windows", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "pt2pt throughput" in out
+    assert "ticket" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_bad_lock_choice_rejected():
+    with pytest.raises(SystemExit):
+        main(["throughput", "--lock", "bogus"])

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs end-to-end with small args."""
+
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name, argv):
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        import importlib
+
+        mod = importlib.import_module(name)
+        importlib.reload(mod)
+        monkeypatch.setattr(sys, "argv", [name] + argv)
+        mod.main()
+    finally:
+        sys.path.remove(str(EXAMPLES))
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart",
+                      ["--threads", "2", "--windows", "2"])
+    assert "mutex" in out and "ticket" in out
+    assert "single-threaded" in out
+
+
+def test_lock_arbitration_demo(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "lock_arbitration_demo",
+                      ["--threads", "4", "--duration-us", "50"])
+    assert "bias factor" in out
+    assert "monopoly run" in out
+
+
+def test_graph500_bfs(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "graph500_bfs",
+                      ["--scale", "9", "--ranks", "2", "--threads", "2",
+                       "--locks", "ticket"])
+    assert "MTEPS" in out
+
+
+def test_heat_stencil(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "heat_stencil",
+                      ["--extent", "8", "--iterations", "2", "--ranks", "2",
+                       "--threads", "2", "--locks", "ticket"])
+    assert "GFlops" in out
+
+
+def test_genome_assembly(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "genome_assembly",
+                      ["--reads", "200", "--genome", "2000", "--nodes", "1",
+                       "--ranks-per-node", "2", "--locks", "ticket"])
+    assert "distinct k-mers" in out
+
+
+def test_rma_async_progress(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "rma_async_progress",
+                      ["--ranks", "3", "--ops", "6"])
+    assert "fairness gain" in out

@@ -1,0 +1,134 @@
+"""Tests for the mini-SWAP assembler: reads, k-mer graph, distribution."""
+
+import pytest
+
+from repro.mpi import Cluster, ClusterConfig
+from repro.workloads.assembly import (
+    AssemblyConfig,
+    KmerTable,
+    generate_reads,
+    kmer_owner,
+    kmerize,
+    run_assembly,
+)
+
+
+class TestReads:
+    def test_read_count_and_length(self):
+        rs = generate_reads(genome_length=1000, n_reads=50, read_length=36, seed=1)
+        assert rs.n_reads == 50
+        assert all(len(r) == 36 for r in rs.reads)
+
+    def test_reads_come_from_genome_without_errors(self):
+        rs = generate_reads(genome_length=500, n_reads=20, seed=2)
+        assert all(r in rs.genome for r in rs.reads)
+
+    def test_errors_perturb_reads(self):
+        clean = generate_reads(genome_length=500, n_reads=50, seed=3)
+        noisy = generate_reads(genome_length=500, n_reads=50,
+                               error_rate=0.2, seed=3)
+        assert any(r not in noisy.genome for r in noisy.reads)
+        assert clean.genome == noisy.genome
+
+    def test_too_long_reads_rejected(self):
+        with pytest.raises(ValueError):
+            generate_reads(genome_length=10, read_length=36)
+
+    def test_deterministic(self):
+        a = generate_reads(seed=4)
+        b = generate_reads(seed=4)
+        assert a.reads == b.reads
+
+
+class TestKmerGraph:
+    def test_kmerize_positions(self):
+        out = kmerize("ACGTAC", 4)
+        assert [k for k, _, _ in out] == ["ACGT", "CGTA", "GTAC"]
+        assert out[0][1] == "" and out[0][2] == "A"
+        assert out[1][1] == "A" and out[1][2] == "C"
+        assert out[2][1] == "C" and out[2][2] == ""
+
+    def test_kmerize_bad_k(self):
+        with pytest.raises(ValueError):
+            kmerize("ACGT", 1)
+        with pytest.raises(ValueError):
+            kmerize("ACGT", 5)
+
+    def test_owner_stable_and_in_range(self):
+        for km in ("ACGTACGTACGTACGTACGTA", "TTTTTTTTTTTTTTTTTTTTT"):
+            o = kmer_owner(km, 8)
+            assert 0 <= o < 8
+            assert o == kmer_owner(km, 8)
+
+    def test_insert_merges_counts_and_edges(self):
+        t = KmerTable(0, 1, 4)
+        t.insert("ACGT", "", "A")
+        t.insert("ACGT", "G", "A")
+        assert t.n_kmers == 1
+        node = t.nodes["ACGT"]
+        assert node.count == 2
+        assert node.preds == {"G"}
+        assert node.succs == {"A"}
+
+    def test_branching_detection(self):
+        t = KmerTable(0, 1, 4)
+        t.insert("ACGT", "", "A")
+        assert t.n_branching() == 0
+        t.insert("ACGT", "", "C")
+        assert t.n_branching() == 1
+
+
+class TestAssembly:
+    CFG = AssemblyConfig(genome_length=3000, n_reads=600, k=21, batch_size=32)
+
+    def kmer_total(self):
+        return self.CFG.n_reads * (self.CFG.read_length - self.CFG.k + 1)
+
+    @pytest.mark.parametrize("nodes,rpn", [(1, 1), (1, 4), (2, 2), (2, 4)])
+    def test_no_kmers_lost(self, nodes, rpn):
+        cl = Cluster(ClusterConfig(
+            n_nodes=nodes, ranks_per_node=rpn, threads_per_rank=2,
+            lock="ticket", seed=0))
+        res = run_assembly(cl, self.CFG)
+        assert res.total_kmers_inserted == self.kmer_total()
+
+    def test_distinct_kmers_independent_of_partitioning(self):
+        counts = set()
+        for nodes in (1, 2):
+            cl = Cluster(ClusterConfig(
+                n_nodes=nodes, ranks_per_node=2, threads_per_rank=2,
+                lock="ticket", seed=0))
+            counts.add(run_assembly(cl, self.CFG).distinct_kmers)
+        assert len(counts) == 1
+
+    def test_error_free_reads_give_few_branches(self):
+        cl = Cluster(ClusterConfig(
+            n_nodes=2, ranks_per_node=2, threads_per_rank=2,
+            lock="ticket", seed=0))
+        res = run_assembly(cl, self.CFG)
+        # A clean random genome has almost no repeated (k-1)-mers.
+        assert res.branching_kmers < 0.02 * res.distinct_kmers
+
+    def test_needs_two_threads(self):
+        cl = Cluster(ClusterConfig(n_nodes=2, threads_per_rank=1, lock="ticket"))
+        with pytest.raises(ValueError, match="2 threads"):
+            run_assembly(cl, self.CFG)
+
+    def test_fair_lock_speeds_up(self):
+        cfg = AssemblyConfig(genome_length=3000, n_reads=600, k=21, batch_size=8)
+        times = {}
+        for lock in ("mutex", "ticket"):
+            cl = Cluster(ClusterConfig(
+                n_nodes=2, ranks_per_node=4, threads_per_rank=2,
+                lock=lock, seed=0))
+            times[lock] = run_assembly(cl, cfg).elapsed_s
+        assert times["ticket"] < times["mutex"]
+
+    def test_deterministic(self):
+        vals = set()
+        for _ in range(2):
+            cl = Cluster(ClusterConfig(
+                n_nodes=2, ranks_per_node=2, threads_per_rank=2,
+                lock="mutex", seed=1))
+            vals.add(run_assembly(cl, self.CFG).elapsed_s)
+        assert len(vals) == 1

@@ -1,0 +1,126 @@
+"""Tests for the Graph500 BFS kernel: generator and distributed traversal."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.mpi import Cluster, ClusterConfig
+from repro.workloads.bfs import BfsConfig, generate_graph, run_bfs
+from repro.workloads.bfs.graph_gen import build_csr, kronecker_edges
+
+
+class TestGraphGen:
+    def test_vertex_count(self):
+        g = generate_graph(8, 4, seed=1)
+        assert g.n_vertices == 256
+        assert len(g.indptr) == 257
+
+    def test_csr_is_consistent(self):
+        g = generate_graph(7, 4, seed=2)
+        assert g.indptr[0] == 0
+        assert g.indptr[-1] == len(g.indices)
+        assert (np.diff(g.indptr) >= 0).all()
+        assert (g.indices >= 0).all() and (g.indices < g.n_vertices).all()
+
+    def test_symmetrized(self):
+        g = generate_graph(6, 4, seed=3)
+        # Every directed edge has its reverse.
+        pairs = set()
+        for v in range(g.n_vertices):
+            for w in g.neighbors(v):
+                pairs.add((v, int(w)))
+        assert all((w, v) in pairs for v, w in pairs)
+
+    def test_no_self_loops(self):
+        g = generate_graph(6, 4, seed=4)
+        for v in range(g.n_vertices):
+            assert v not in set(g.neighbors(v).tolist())
+
+    def test_deterministic_by_seed(self):
+        a = generate_graph(7, 4, seed=5)
+        b = generate_graph(7, 4, seed=5)
+        c = generate_graph(7, 4, seed=6)
+        assert (a.indices == b.indices).all()
+        assert len(a.indices) != len(c.indices) or not (a.indices == c.indices).all()
+
+    def test_kronecker_shape(self):
+        rng = np.random.default_rng(0)
+        e = kronecker_edges(5, 3, rng)
+        assert e.shape == (2, 3 << 5)
+        assert e.max() < 1 << 5
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_graph(0)
+
+
+def reference_component_size(g, root=None) -> int:
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n_vertices))
+    for v in range(g.n_vertices):
+        for w in g.neighbors(v):
+            G.add_edge(v, int(w))
+    if root is None:
+        degrees = g.indptr[1:] - g.indptr[:-1]
+        root = int(np.flatnonzero(degrees)[0])
+    return len(nx.node_connected_component(G, root))
+
+
+class TestDistributedBfs:
+    @pytest.mark.parametrize("ranks,threads", [(1, 1), (1, 4), (2, 2), (4, 2), (8, 1)])
+    def test_visits_exactly_the_component(self, ranks, threads):
+        cfg = BfsConfig(scale=8, edgefactor=6, graph_seed=11)
+        g = generate_graph(cfg.scale, cfg.edgefactor, seed=cfg.graph_seed)
+        expected = reference_component_size(g)
+        cl = Cluster(ClusterConfig(
+            n_nodes=ranks, threads_per_rank=threads, lock="ticket", seed=0))
+        res = run_bfs(cl, cfg)
+        assert res.n_visited == expected
+
+    def test_same_result_across_locks(self):
+        cfg = BfsConfig(scale=8, edgefactor=6, graph_seed=12)
+        visited = set()
+        for lock in ("mutex", "ticket", "priority"):
+            cl = Cluster(ClusterConfig(
+                n_nodes=4, threads_per_rank=2, lock=lock, seed=0))
+            visited.add(run_bfs(cl, cfg).n_visited)
+        assert len(visited) == 1
+
+    def test_indivisible_partition_rejected(self):
+        cl = Cluster(ClusterConfig(n_nodes=3, threads_per_rank=1, lock="ticket"))
+        with pytest.raises(ValueError, match="divisible"):
+            run_bfs(cl, BfsConfig(scale=8))
+
+    def test_mteps_positive_and_levels_counted(self):
+        cl = Cluster(ClusterConfig(n_nodes=2, threads_per_rank=2, lock="ticket"))
+        res = run_bfs(cl, BfsConfig(scale=9, edgefactor=8))
+        assert res.mteps > 0
+        assert res.n_levels >= 2
+        assert res.edges_scanned > 0
+
+    def test_thread_scaling_single_node(self):
+        base = None
+        for t in (1, 4):
+            cl = Cluster(ClusterConfig(n_nodes=1, threads_per_rank=t, lock="ticket"))
+            res = run_bfs(cl, BfsConfig(scale=12))
+            if base is None:
+                base = res.mteps
+            else:
+                assert res.mteps > 2.5 * base  # decent scaling at 4 threads
+
+    def test_deterministic(self):
+        cfg = BfsConfig(scale=9, edgefactor=8)
+        times = set()
+        for _ in range(2):
+            cl = Cluster(ClusterConfig(n_nodes=2, threads_per_rank=2,
+                                       lock="mutex", seed=4))
+            times.add(run_bfs(cl, cfg).elapsed_s)
+        assert len(times) == 1
+
+    def test_explicit_root(self):
+        cfg = BfsConfig(scale=8, edgefactor=6, graph_seed=11, root=5)
+        g = generate_graph(8, 6, seed=11)
+        expected = reference_component_size(g, root=5) if g.degree(5) else 1
+        cl = Cluster(ClusterConfig(n_nodes=2, threads_per_rank=2, lock="ticket"))
+        res = run_bfs(cl, cfg)
+        assert res.n_visited == expected

@@ -1,0 +1,52 @@
+"""Tests for the multithreaded latency benchmark."""
+
+import pytest
+
+from repro.mpi import Cluster, ClusterConfig
+from repro.workloads import LatencyConfig, run_latency
+
+
+def run(lock="ticket", threads=2, size=64, iters=10, seed=3):
+    cl = Cluster(ClusterConfig(
+        n_nodes=2, threads_per_rank=threads, lock=lock, seed=seed))
+    return run_latency(cl, LatencyConfig(msg_size=size, n_iters=iters))
+
+
+def test_latency_positive_and_reasonable():
+    res = run()
+    assert res.latency_us > 0
+    # Must be at least the one-way network latency.
+    assert res.latency_us * 1e-6 >= 1300e-9
+
+
+def test_single_thread_latency_is_rtt():
+    """T=1 aggregate latency reduces to the classic per-message RTT."""
+    res = run(threads=1, size=1, iters=20)
+    # One RTT >= 2 network latencies.
+    assert res.latency_us * 1e-6 >= 2 * 1300e-9
+
+
+def test_latency_grows_with_message_size():
+    small = run(size=64)
+    big = run(size=1 << 20)
+    assert big.latency_us > small.latency_us
+
+
+def test_mutex_worse_than_ticket_small():
+    m = run(lock="mutex", threads=8, size=1, iters=20)
+    t = run(lock="ticket", threads=8, size=1, iters=20)
+    assert m.latency_us > t.latency_us
+
+
+def test_multithreaded_beats_single_for_large_messages():
+    """Fig 8b: pipelined concurrent transfers beat the serial ping-pong
+    above the eager/rendezvous range."""
+    single = Cluster(ClusterConfig(n_nodes=2, threads_per_rank=1, lock="null", seed=3))
+    s = run_latency(single, LatencyConfig(msg_size=1 << 16, n_iters=20))
+    mt = run(lock="ticket", threads=8, size=1 << 16, iters=20)
+    assert mt.latency_us < s.latency_us
+
+
+def test_deterministic():
+    assert run(seed=5).latency_us == run(seed=5).latency_us
+    assert run(seed=5).latency_us != run(seed=6).latency_us

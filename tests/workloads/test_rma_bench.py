@@ -1,0 +1,67 @@
+"""Tests for the RMA benchmark with async progress."""
+
+import pytest
+
+from repro.mpi import Cluster, ClusterConfig
+from repro.workloads import RmaConfig, run_rma
+
+
+def make_cluster(lock="ticket", ranks=4, async_progress=True, seed=3):
+    return Cluster(ClusterConfig(
+        n_nodes=ranks, threads_per_rank=1, lock=lock,
+        async_progress=async_progress, seed=seed))
+
+
+def test_requires_async_progress():
+    cl = make_cluster(async_progress=False)
+    with pytest.raises(ValueError, match="async_progress"):
+        run_rma(cl, RmaConfig())
+
+
+def test_requires_two_ranks():
+    cl = Cluster(ClusterConfig(
+        n_nodes=1, threads_per_rank=1, lock="ticket", async_progress=True))
+    with pytest.raises(ValueError, match="2 ranks"):
+        run_rma(cl, RmaConfig())
+
+
+def test_unknown_op_rejected():
+    cl = make_cluster()
+    with pytest.raises(ValueError, match="unknown RMA op"):
+        run_rma(cl, RmaConfig(op="swap"))
+
+
+@pytest.mark.parametrize("op", ["put", "get", "acc"])
+def test_ops_complete_and_rate_positive(op):
+    cl = make_cluster()
+    res = run_rma(cl, RmaConfig(op=op, element_size=512, n_ops=12))
+    assert res.rate_k > 0
+    assert res.n_ops == 12
+
+
+def test_rate_decreases_with_element_size():
+    small = run_rma(make_cluster(), RmaConfig(op="put", element_size=8, n_ops=12))
+    big = run_rma(make_cluster(), RmaConfig(op="put", element_size=1 << 20, n_ops=12))
+    assert small.rate_k > big.rate_k
+
+
+def test_fairness_speedup_over_mutex():
+    """The paper's Fig. 9 headline: the async progress thread
+    monopolizes a mutex-guarded runtime."""
+    m = run_rma(make_cluster(lock="mutex", ranks=8),
+                RmaConfig(op="put", element_size=1024, n_ops=24))
+    t = run_rma(make_cluster(lock="ticket", ranks=8),
+                RmaConfig(op="put", element_size=1024, n_ops=24))
+    assert t.rate_k > 1.4 * m.rate_k
+
+
+def test_accumulate_slower_than_put():
+    p = run_rma(make_cluster(), RmaConfig(op="put", element_size=1 << 16, n_ops=12))
+    a = run_rma(make_cluster(), RmaConfig(op="acc", element_size=1 << 16, n_ops=12))
+    assert a.rate_k < p.rate_k
+
+
+def test_deterministic():
+    a = run_rma(make_cluster(seed=9), RmaConfig(op="get", n_ops=8))
+    b = run_rma(make_cluster(seed=9), RmaConfig(op="get", n_ops=8))
+    assert a.elapsed_s == b.elapsed_s

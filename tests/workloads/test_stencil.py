@@ -1,0 +1,162 @@
+"""Tests for the 3D stencil: decomposition, kernel, hybrid runner."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Cluster, ClusterConfig
+from repro.workloads.stencil import (
+    StencilConfig,
+    decompose,
+    factor_ranks,
+    run_stencil,
+    step_interior,
+)
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 6, 8, 12, 16, 64])
+    def test_factor_product(self, p):
+        pz, py, px = factor_ranks(p)
+        assert pz * py * px == p
+
+    def test_prefers_z_axis(self):
+        assert factor_ranks(2) == (2, 1, 1)
+        assert factor_ranks(4) == (2, 2, 1)
+        assert factor_ranks(8) == (2, 2, 2)
+
+    def test_boxes_tile_domain_exactly(self):
+        n = (12, 10, 8)
+        boxes = decompose(n, 6)
+        cells = sum(b.n_cells for b in boxes)
+        assert cells == 12 * 10 * 8
+        seen = set()
+        for b in boxes:
+            for z in range(b.lo[0], b.hi[0]):
+                for y in range(b.lo[1], b.hi[1]):
+                    for x in range(b.lo[2], b.hi[2]):
+                        assert (z, y, x) not in seen
+                        seen.add((z, y, x))
+        assert len(seen) == cells
+
+    def test_neighbor_symmetry(self):
+        boxes = decompose((8, 8, 8), 8)
+        for b in boxes:
+            for axis in range(3):
+                for d in (-1, 1):
+                    nb = b.neighbor_rank(axis, d)
+                    if nb is not None:
+                        back = boxes[nb].neighbor_rank(axis, -d)
+                        assert back == b.rank
+
+    def test_boundary_has_no_neighbor(self):
+        boxes = decompose((8, 8, 8), 2)  # grid (2,1,1)
+        assert boxes[0].neighbor_rank(0, -1) is None
+        assert boxes[0].neighbor_rank(0, +1) == 1
+        assert boxes[1].neighbor_rank(0, +1) is None
+
+    def test_overdecomposition_rejected(self):
+        with pytest.raises(ValueError):
+            decompose((2, 2, 2), 16)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            factor_ranks(0)
+
+
+class TestKernel:
+    def test_uniform_field_is_stationary(self):
+        u = np.full((6, 6, 6), 3.0)
+        v = np.zeros_like(u)
+        # With uniform interior AND ghosts, the Laplacian vanishes.
+        step_interior(u, v)
+        assert np.allclose(v[1:-1, 1:-1, 1:-1], 3.0)
+
+    def test_heat_diffuses_from_spike(self):
+        u = np.zeros((7, 7, 7))
+        u[3, 3, 3] = 1.0
+        v = np.zeros_like(u)
+        step_interior(u, v, alpha=0.1)
+        assert v[3, 3, 3] < 1.0
+        assert v[2, 3, 3] > 0.0
+
+    def test_conservation_interior(self):
+        """Away from boundaries the update conserves total heat."""
+        rng = np.random.default_rng(0)
+        u = np.zeros((10, 10, 10))
+        u[3:7, 3:7, 3:7] = rng.random((4, 4, 4))
+        v = np.zeros_like(u)
+        step_interior(u, v, alpha=0.1)
+        assert v[1:-1, 1:-1, 1:-1].sum() == pytest.approx(
+            u[1:-1, 1:-1, 1:-1].sum()
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            step_interior(np.zeros((4, 4, 4)), np.zeros((5, 4, 4)))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            step_interior(np.zeros((2, 4, 4)), np.zeros((2, 4, 4)))
+
+
+class TestRunner:
+    def _serial_reference(self, cfg, n_ranks):
+        from repro.workloads.stencil.decomposition import decompose as dec
+
+        rng = np.random.default_rng(cfg.seed)
+        boxes = dec(cfg.n, n_ranks)
+        nz, ny, nx = cfg.n
+        U = np.zeros((nz + 2, ny + 2, nx + 2))
+        V = np.zeros_like(U)
+        for b in boxes:
+            sz, sy, sx = b.shape
+            U[1 + b.lo[0]:1 + b.hi[0], 1 + b.lo[1]:1 + b.hi[1],
+              1 + b.lo[2]:1 + b.hi[2]] = rng.random((sz, sy, sx))
+        for _ in range(cfg.iterations):
+            step_interior(U, V, alpha=cfg.alpha)
+            U, V = V, U
+        return boxes, U
+
+    @pytest.mark.parametrize("ranks,threads", [(1, 2), (2, 2), (4, 2), (8, 1)])
+    def test_matches_serial_solution(self, ranks, threads):
+        cfg = StencilConfig(n=(8, 8, 8), iterations=3, seed=5)
+        cl = Cluster(ClusterConfig(
+            n_nodes=ranks, threads_per_rank=threads, lock="ticket", seed=1))
+        res = run_stencil(cl, cfg)
+        boxes, U = self._serial_reference(cfg, ranks)
+        for b, f in zip(boxes, res.fields):
+            ref = U[1 + b.lo[0]:1 + b.hi[0], 1 + b.lo[1]:1 + b.hi[1],
+                    1 + b.lo[2]:1 + b.hi[2]]
+            assert np.allclose(ref, f)
+
+    def test_result_independent_of_lock(self):
+        cfg = StencilConfig(n=(8, 8, 8), iterations=3, seed=5)
+        sums = set()
+        for lock in ("mutex", "ticket", "priority"):
+            cl = Cluster(ClusterConfig(
+                n_nodes=4, threads_per_rank=2, lock=lock, seed=1))
+            res = run_stencil(cl, cfg)
+            sums.add(round(float(sum(f.sum() for f in res.fields)), 12))
+        assert len(sums) == 1
+
+    def test_breakdown_covers_all_time(self):
+        cfg = StencilConfig(n=(8, 8, 8), iterations=2)
+        cl = Cluster(ClusterConfig(n_nodes=2, threads_per_rank=2, lock="ticket"))
+        res = run_stencil(cl, cfg)
+        pct = res.breakdown.percentages()
+        assert set(pct) == {"mpi", "compute", "sync"}
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_gflops_positive(self):
+        cfg = StencilConfig(n=(8, 8, 8), iterations=2)
+        cl = Cluster(ClusterConfig(n_nodes=2, threads_per_rank=2, lock="ticket"))
+        assert run_stencil(cl, cfg).gflops > 0
+
+    def test_indivisible_slab_rejected(self):
+        # local nz = 4 not divisible by 3 threads
+        cfg = StencilConfig(n=(8, 8, 8), iterations=1)
+        cl = Cluster(ClusterConfig(n_nodes=2, threads_per_rank=3, lock="ticket"))
+        from repro.sim import SimulationError
+
+        with pytest.raises((ValueError, SimulationError)):
+            run_stencil(cl, cfg)

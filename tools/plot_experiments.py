@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Render a reproduced figure as an ASCII chart in the terminal.
+
+    python tools/plot_experiments.py fig5c
+    python tools/plot_experiments.py fig8b --width 72
+
+Supports the experiments whose results are series over message size or
+thread count; the rest are tables (use ``python -m repro run <fig>``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.experiments import run_experiment
+
+
+def _series_from(result):
+    """Extract named (x, y) series from an experiment's raw data."""
+    exp = result.exp_id
+    d = result.data
+    if exp == "fig2a":
+        rates = d["rates"]
+        tpns = sorted({t for _, t in rates})
+        return {
+            f"{t} tpn": sorted(
+                (s, r) for (s, tt), r in rates.items() if tt == t
+            )
+            for t in tpns
+        }, "message size (B)", "10^3 msg/s"
+    if exp in ("fig5c", "fig8a"):
+        rates = d["rates"]
+        methods = sorted({m for m, _ in rates})
+        return {
+            m: sorted((s, r) for (mm, s), r in rates.items() if mm == m)
+            for m in methods
+        }, "message size (B)", "10^3 msg/s"
+    if exp == "fig8b":
+        lat = d["latency_us"]
+        methods = sorted({m for m, _ in lat})
+        return {
+            m: sorted((s, v) for (mm, s), v in lat.items() if mm == m)
+            for m in methods
+        }, "message size (B)", "latency (us)"
+    if exp == "fig3a":
+        return {
+            "core bias": sorted(d["core"].items()),
+            "socket bias": sorted(d["socket"].items()),
+        }, "message size (B)", "bias factor"
+    raise SystemExit(
+        f"{exp} is tabular; run `python -m repro run {exp}` instead"
+    )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("figure", help="fig2a | fig3a | fig5c | fig8a | fig8b")
+    ap.add_argument("--paper", action="store_true")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--width", type=int, default=64)
+    ap.add_argument("--height", type=int, default=18)
+    args = ap.parse_args()
+
+    result = run_experiment(args.figure, quick=not args.paper, seed=args.seed)
+    series, xlabel, ylabel = _series_from(result)
+    print(ascii_chart(
+        series, width=args.width, height=args.height,
+        title=f"[{result.exp_id}] {result.title}",
+        xlabel=xlabel, ylabel=ylabel,
+    ))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
