@@ -27,16 +27,43 @@ class DanglingStats:
 
 
 class DanglingProfiler:
-    """Attach to a runtime's critical section; sample its dangling count."""
+    """Attach to a runtime's critical section; sample its dangling count.
 
-    def __init__(self, runtime: MpiRuntime):
+    Directly hooks the lock's grant callback by default; with
+    :meth:`from_bus` it becomes a thin adapter over the observability
+    bus, sampling on the same lock-grant instants.  Both sample at
+    identical simulated times.
+    """
+
+    def __init__(self, runtime: MpiRuntime, _attach: bool = True):
         self.runtime = runtime
         self.samples: List[int] = []
         self._hook = lambda lock, ctx: self.samples.append(runtime.dangling_count)
-        runtime.lock.on_grant.append(self._hook)
+        self._bus = None
+        if _attach:
+            runtime.lock.on_grant.append(self._hook)
+
+    @classmethod
+    def from_bus(cls, bus, runtime: MpiRuntime) -> "DanglingProfiler":
+        """Sample on this runtime's lock-grant events from the bus."""
+        prof = cls(runtime, _attach=False)
+        prof._bus = bus
+        grant_name = f"{runtime.lock.name}.grant"
+
+        def on_event(ev, _prof=prof, _name=grant_name):
+            if ev.kind.name == "INSTANT" and ev.name == _name:
+                _prof.samples.append(_prof.runtime.dangling_count)
+
+        prof._bus_hook = on_event
+        bus.subscribe(on_event, categories=("lock",))
+        return prof
 
     def detach(self) -> None:
-        self.runtime.lock.on_grant.remove(self._hook)
+        if self._bus is not None:
+            self._bus.unsubscribe(self._bus_hook)
+            self._bus = None
+        else:
+            self.runtime.lock.on_grant.remove(self._hook)
 
     # ------------------------------------------------------------------
     @property

@@ -5,6 +5,8 @@
     python -m repro list                     # experiments and what they show
     python -m repro run fig5c                # run one figure, print its table
     python -m repro run all                  # run everything
+    python -m repro run fig2b --format json  # machine-readable result
+    python -m repro trace fig2a --out trace.json   # Chrome trace of a run
     python -m repro locks                    # available locking methods
     python -m repro spec                     # Table 1 machine specification
     python -m repro throughput --lock ticket --threads 8 --size 64
@@ -13,6 +15,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -41,16 +44,51 @@ def _cmd_run(args) -> int:
               file=sys.stderr)
         return 2
     failed = []
+    results = []
     for name in names:
         res = run_experiment(name, quick=not args.paper, seed=args.seed)
-        print(res.format())
-        print()
+        if args.format == "json":
+            results.append(res.to_dict())
+        else:
+            print(res.format())
+            print()
         if not res.ok:
             failed.append(name)
+    if args.format == "json":
+        payload = results[0] if args.name != "all" else results
+        print(json.dumps(payload, indent=2))
     if failed:
         print(f"shape checks FAILED for: {', '.join(failed)}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import Recording
+
+    if args.name not in EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    categories = tuple(
+        c.strip() for c in args.categories.split(",") if c.strip()
+    )
+    rec = Recording(categories=categories, max_events=args.max_events)
+    res = run_experiment(args.name, quick=not args.paper, seed=args.seed,
+                         obs=rec.bus)
+    rec.write_chrome_trace(args.out)
+    if args.counters:
+        with open(args.counters, "w") as fh:
+            json.dump(rec.counters_dump(), fh, indent=2)
+    print(rec.summary())
+    print()
+    print(f"[{res.exp_id}] shape checks: "
+          f"{'all pass' if res.ok else 'FAILED: ' + ', '.join(res.failed_checks())}")
+    print(f"chrome trace written to {args.out} "
+          f"(load in chrome://tracing or https://ui.perfetto.dev)")
+    if args.counters:
+        print(f"counter series written to {args.counters}")
+    return 0 if res.ok else 1
 
 
 def _cmd_locks(args) -> int:
@@ -113,7 +151,28 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--paper", action="store_true",
                        help="paper-scale parameters (slow)")
     run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--format", choices=("table", "json"), default="table",
+                       help="output format (json uses ExperimentResult.to_dict)")
     run_p.set_defaults(fn=_cmd_run)
+
+    tr = sub.add_parser(
+        "trace", help="run an experiment with the observability bus attached "
+                      "and export a Chrome trace")
+    tr.add_argument("name")
+    tr.add_argument("--out", default="trace.json",
+                    help="Chrome trace output path (default: trace.json)")
+    tr.add_argument("--paper", action="store_true",
+                    help="paper-scale parameters (slow)")
+    tr.add_argument("--seed", type=int, default=1)
+    tr.add_argument("--categories", default=",".join(("lock", "mpi", "net", "meta")),
+                    help="comma-separated event categories to record "
+                         "(sim is high-volume and off by default)")
+    tr.add_argument("--max-events", type=int, default=500_000,
+                    help="cap on recorded events; drops past the cap are "
+                         "counted, never silent (default: 500000)")
+    tr.add_argument("--counters", default=None, metavar="PATH",
+                    help="also dump counter timeseries JSON to PATH")
+    tr.set_defaults(fn=_cmd_trace)
 
     sub.add_parser("locks", help="list locking methods").set_defaults(fn=_cmd_locks)
     sub.add_parser("spec", help="print the Table-1 machine spec").set_defaults(fn=_cmd_spec)

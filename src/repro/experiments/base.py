@@ -9,12 +9,44 @@ numbers depend on the authors' testbed).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence
 
 from ..analysis.report import format_table
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "jsonable"]
+
+
+def jsonable(obj: Any) -> Any:
+    """Recursively coerce ``obj`` into JSON-serializable primitives.
+
+    Experiment ``data`` mixes numpy scalars/arrays, tuple-keyed dicts
+    and result dataclasses; this flattens all of them (tuple keys
+    become comma-joined strings) so ``--format json`` never chokes.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, dict):
+        return {
+            (",".join(str(p) for p in k) if isinstance(k, tuple) else str(k)):
+                jsonable(v)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        seq = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) else obj
+        return [jsonable(v) for v in seq]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    # numpy scalars and arrays (without importing numpy here).
+    if hasattr(obj, "tolist"):
+        return jsonable(obj.tolist())
+    if hasattr(obj, "item"):
+        return jsonable(obj.item())
+    return str(obj)
 
 
 @dataclass
@@ -35,6 +67,19 @@ class ExperimentResult:
 
     def failed_checks(self) -> List[str]:
         return [k for k, v in self.checks.items() if not v]
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (``python -m repro run --format json``)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [jsonable(list(row)) for row in self.rows],
+            "checks": dict(self.checks),
+            "ok": self.ok,
+            "notes": list(self.notes),
+            "data": jsonable(self.data),
+        }
 
     def format(self) -> str:
         out = [format_table(self.headers, self.rows, title=f"[{self.exp_id}] {self.title}")]

@@ -10,20 +10,25 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..mpi.world import Cluster, ClusterConfig
 from ..workloads.bfs import BfsConfig, run_bfs
+from ..obs import Instrument
 from .base import ExperimentResult
 from .config import preset
 
 __all__ = ["run_fig10a", "run_fig10b", "run_fig10c"]
 
 
-def run_fig10a(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig10a(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     mteps = {}
     for t in (1, 2, 4, 8):
         cl = Cluster(ClusterConfig(
-            n_nodes=1, threads_per_rank=t, lock="ticket", seed=seed))
+            n_nodes=1, threads_per_rank=t, lock="ticket", seed=seed, obs=obs))
         res = run_bfs(cl, BfsConfig(scale=p.bfs_scale_single))
         mteps[t] = res.mteps
     rows = [[t, f"{mteps[t]:.1f}", f"{mteps[t] / (t * mteps[1]):.2f}"]
@@ -46,7 +51,9 @@ def run_fig10a(quick: bool = True, seed: int = 1) -> ExperimentResult:
     )
 
 
-def run_fig10b(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig10b(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     n_nodes = 4 if quick else 16
     mteps = {}
@@ -54,7 +61,7 @@ def run_fig10b(quick: bool = True, seed: int = 1) -> ExperimentResult:
         for t in (1, 2, 4, 8):
             cl = Cluster(ClusterConfig(
                 n_nodes=n_nodes, threads_per_rank=t, lock=lock,
-                binding="compact", seed=seed))
+                binding="compact", seed=seed, obs=obs))
             res = run_bfs(cl, BfsConfig(scale=p.bfs_scale_multi, flush_size=32))
             mteps[(lock, t)] = res.mteps
     rows = [
@@ -82,7 +89,9 @@ def run_fig10b(quick: bool = True, seed: int = 1) -> ExperimentResult:
     )
 
 
-def run_fig10c(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig10c(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     base_scale = p.bfs_scale_multi - 2
     grid = [(2, base_scale), (4, base_scale + 1), (8, base_scale + 2)]
@@ -90,7 +99,7 @@ def run_fig10c(quick: bool = True, seed: int = 1) -> ExperimentResult:
     for nodes, scale in grid:
         for lock in ("mutex", "ticket", "priority"):
             cl = Cluster(ClusterConfig(
-                n_nodes=nodes, threads_per_rank=8, lock=lock, seed=seed))
+                n_nodes=nodes, threads_per_rank=8, lock=lock, seed=seed, obs=obs))
             res = run_bfs(cl, BfsConfig(scale=scale, flush_size=32))
             mteps[(lock, nodes)] = res.mteps
     rows = [

@@ -9,8 +9,11 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..mpi.world import Cluster, ClusterConfig
 from ..workloads.stencil import StencilConfig, run_stencil
+from ..obs import Instrument
 from .base import ExperimentResult
 from .config import preset
 
@@ -23,14 +26,16 @@ def _per_core_bytes(extent: int, n_ranks: int, threads: int) -> int:
     return extent ** 3 * 8 // (n_ranks * threads)
 
 
-def run_fig11a(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig11a(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     n_nodes = 4 if quick else 8
     gflops = {}
     for extent in p.stencil_extents:
         for lock in LOCKS:
             cl = Cluster(ClusterConfig(
-                n_nodes=n_nodes, threads_per_rank=8, lock=lock, seed=seed))
+                n_nodes=n_nodes, threads_per_rank=8, lock=lock, seed=seed, obs=obs))
             res = run_stencil(cl, StencilConfig(
                 n=(extent, extent, extent), iterations=p.stencil_iters))
             gflops[(lock, extent)] = res.gflops
@@ -61,14 +66,16 @@ def run_fig11a(quick: bool = True, seed: int = 1) -> ExperimentResult:
     )
 
 
-def run_fig11b(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig11b(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     n_nodes = 4 if quick else 8
     shares = {}
     rows = []
     for extent in p.stencil_extents:
         cl = Cluster(ClusterConfig(
-            n_nodes=n_nodes, threads_per_rank=8, lock="mutex", seed=seed))
+            n_nodes=n_nodes, threads_per_rank=8, lock="mutex", seed=seed, obs=obs))
         res = run_stencil(cl, StencilConfig(
             n=(extent, extent, extent), iterations=p.stencil_iters))
         pct = res.breakdown.percentages()

@@ -7,8 +7,11 @@ independent of core count -- with no change to the application.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..mpi.world import Cluster, ClusterConfig
 from ..workloads.assembly import AssemblyConfig, run_assembly
+from ..obs import Instrument
 from .base import ExperimentResult
 from .config import preset
 
@@ -17,7 +20,9 @@ __all__ = ["run_fig12b"]
 LOCKS = ("mutex", "ticket", "priority")
 
 
-def run_fig12b(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig12b(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     cfg = AssemblyConfig(
         genome_length=p.asm_genome, n_reads=p.asm_reads, batch_size=8,
@@ -28,7 +33,7 @@ def run_fig12b(quick: bool = True, seed: int = 1) -> ExperimentResult:
         for lock in LOCKS:
             cl = Cluster(ClusterConfig(
                 n_nodes=nodes, ranks_per_node=4, threads_per_rank=2,
-                lock=lock, seed=seed))
+                lock=lock, seed=seed, obs=obs))
             res = run_assembly(cl, cfg)
             times[(lock, nodes)] = res.elapsed_s
     rows = [

@@ -10,8 +10,11 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis.report import format_size
 from ..workloads.throughput import ThroughputConfig, run_throughput, throughput_cluster
+from ..obs import Instrument
 from .base import ExperimentResult
 from .config import preset
 
@@ -20,12 +23,14 @@ __all__ = ["run_fig2a", "run_fig2b"]
 TPNS = (1, 2, 4, 8)
 
 
-def run_fig2a(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig2a(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     rates = {}
     for size in p.sizes:
         for tpn in TPNS:
-            cl = throughput_cluster(lock="mutex", threads_per_rank=tpn, seed=seed)
+            cl = throughput_cluster(lock="mutex", threads_per_rank=tpn, seed=seed, obs=obs)
             res = run_throughput(
                 cl, ThroughputConfig(msg_size=size, n_windows=p.n_windows)
             )
@@ -57,12 +62,15 @@ def run_fig2a(quick: bool = True, seed: int = 1) -> ExperimentResult:
     )
 
 
-def run_fig2b(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig2b(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     rates = {}
     for binding in ("compact", "scatter"):
         for tpn in (1, 2, 4):
             cl = throughput_cluster(
-                lock="mutex", threads_per_rank=tpn, binding=binding, seed=seed
+                lock="mutex", threads_per_rank=tpn, binding=binding, seed=seed,
+                obs=obs,
             )
             res = run_throughput(cl, ThroughputConfig(msg_size=8, n_windows=6))
             rates[(binding, tpn)] = res.msg_rate_k

@@ -11,22 +11,27 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis.bias import compute_bias_factors
 from ..analysis.report import format_size
 from ..workloads.throughput import ThroughputConfig, run_throughput, throughput_cluster
+from ..obs import Instrument
 from .base import ExperimentResult
 from .config import preset
 
 __all__ = ["run_fig3a", "run_fig3c"]
 
 
-def run_fig3a(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig3a(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     rows = []
     core, sock = {}, {}
     for size in p.sizes:
         cl = throughput_cluster(
-            lock="mutex", threads_per_rank=8, seed=seed, trace_locks=True
+            lock="mutex", threads_per_rank=8, seed=seed, obs=obs, trace_locks=True
         )
         run_throughput(cl, ThroughputConfig(msg_size=size, n_windows=p.n_windows))
         b = compute_bias_factors(cl.lock_traces[1])
@@ -53,13 +58,15 @@ def run_fig3a(quick: bool = True, seed: int = 1) -> ExperimentResult:
     )
 
 
-def run_fig3c(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig3c(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     small_sizes = [s for s in p.sizes if s <= 4096] or list(p.sizes[:3])
     rows = []
     means = {}
     for size in small_sizes:
-        cl = throughput_cluster(lock="mutex", threads_per_rank=8, seed=seed)
+        cl = throughput_cluster(lock="mutex", threads_per_rank=8, seed=seed, obs=obs)
         res = run_throughput(cl, ThroughputConfig(msg_size=size, n_windows=p.n_windows))
         means[size] = res.dangling.mean
         rows.append([format_size(size), f"{res.dangling.mean:.1f}",

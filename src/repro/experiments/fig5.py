@@ -10,22 +10,27 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis.report import format_size
 from ..workloads.throughput import ThroughputConfig, run_throughput, throughput_cluster
+from ..obs import Instrument
 from .base import ExperimentResult
 from .config import preset
 
 __all__ = ["run_fig5a", "run_fig5b", "run_fig5c"]
 
 
-def run_fig5a(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig5a(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     small_sizes = [s for s in p.sizes if s <= 4096] or list(p.sizes[:3])
     rows = []
     means = {}
     for size in small_sizes:
         for lock in ("mutex", "ticket"):
-            cl = throughput_cluster(lock=lock, threads_per_rank=8, seed=seed)
+            cl = throughput_cluster(lock=lock, threads_per_rank=8, seed=seed, obs=obs)
             res = run_throughput(cl, ThroughputConfig(msg_size=size, n_windows=p.n_windows))
             means[(lock, size)] = res.dangling.mean
         rows.append([
@@ -49,13 +54,16 @@ def run_fig5a(quick: bool = True, seed: int = 1) -> ExperimentResult:
     )
 
 
-def run_fig5b(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig5b(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     rates = {}
     for binding in ("compact", "scatter"):
         for lock in ("mutex", "ticket"):
             for tpn in (1, 2, 4):
                 cl = throughput_cluster(
-                    lock=lock, threads_per_rank=tpn, binding=binding, seed=seed
+                    lock=lock, threads_per_rank=tpn, binding=binding, seed=seed,
+                    obs=obs,
                 )
                 res = run_throughput(cl, ThroughputConfig(msg_size=1, n_windows=6))
                 rates[(binding, lock, tpn)] = res.msg_rate_k
@@ -89,12 +97,14 @@ def run_fig5b(quick: bool = True, seed: int = 1) -> ExperimentResult:
     )
 
 
-def run_fig5c(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig5c(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     rates = {}
     for size in p.sizes:
         for lock in ("mutex", "ticket"):
-            cl = throughput_cluster(lock=lock, threads_per_rank=8, seed=seed)
+            cl = throughput_cluster(lock=lock, threads_per_rank=8, seed=seed, obs=obs)
             res = run_throughput(cl, ThroughputConfig(msg_size=size, n_windows=p.n_windows))
             rates[(lock, size)] = res.msg_rate_k
     rows = [

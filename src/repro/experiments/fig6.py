@@ -14,17 +14,22 @@ full discussion of this deviation.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..machine import CostModel
 from ..mpi.world import Cluster, ClusterConfig
 from ..analysis.report import format_size
 from ..workloads.n2n import N2NConfig, run_n2n
+from ..obs import Instrument
 from .base import ExperimentResult
 from .config import preset
 
 __all__ = ["run_fig6b"]
 
 
-def run_fig6b(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig6b(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     sizes = [s for s in p.sizes if 256 <= s <= 65536] or [1024, 16384]
     # Poll-heavy regime: fine-grained progress (one packet per poll)
@@ -34,7 +39,7 @@ def run_fig6b(quick: bool = True, seed: int = 1) -> ExperimentResult:
     for size in sizes:
         for lock in ("mutex", "ticket", "priority"):
             cl = Cluster(ClusterConfig(
-                n_nodes=4, threads_per_rank=4, lock=lock, seed=seed, costs=costs,
+                n_nodes=4, threads_per_rank=4, lock=lock, seed=seed, obs=obs, costs=costs,
             ))
             res = run_n2n(cl, N2NConfig(
                 msg_size=size, window=p.n2n_window, n_windows=p.n2n_windows,

@@ -9,10 +9,13 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis.report import format_size
 from ..mpi.world import Cluster, ClusterConfig
 from ..workloads.latency import LatencyConfig, run_latency
 from ..workloads.throughput import ThroughputConfig, run_throughput, throughput_cluster
+from ..obs import Instrument
 from .base import ExperimentResult
 from .config import preset
 
@@ -21,18 +24,20 @@ __all__ = ["run_fig8a", "run_fig8b"]
 METHODS = ("single", "mutex", "ticket", "priority")
 
 
-def _cluster(method: str, seed: int) -> Cluster:
+def _cluster(method: str, seed: int, obs: Optional[Instrument] = None) -> Cluster:
     if method == "single":
-        return throughput_cluster(lock="null", threads_per_rank=1, seed=seed)
-    return throughput_cluster(lock=method, threads_per_rank=8, seed=seed)
+        return throughput_cluster(lock="null", threads_per_rank=1, seed=seed, obs=obs)
+    return throughput_cluster(lock=method, threads_per_rank=8, seed=seed, obs=obs)
 
 
-def run_fig8a(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig8a(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     rates = {}
     for size in p.sizes:
         for method in METHODS:
-            cl = _cluster(method, seed)
+            cl = _cluster(method, seed, obs)
             res = run_throughput(cl, ThroughputConfig(msg_size=size, n_windows=p.n_windows))
             rates[(method, size)] = res.msg_rate_k
     rows = [
@@ -59,17 +64,19 @@ def run_fig8a(quick: bool = True, seed: int = 1) -> ExperimentResult:
     )
 
 
-def run_fig8b(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig8b(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     lat = {}
     for size in p.sizes:
         for method in METHODS:
             if method == "single":
                 cl = Cluster(ClusterConfig(
-                    n_nodes=2, threads_per_rank=1, lock="null", seed=seed))
+                    n_nodes=2, threads_per_rank=1, lock="null", seed=seed, obs=obs))
             else:
                 cl = Cluster(ClusterConfig(
-                    n_nodes=2, threads_per_rank=8, lock=method, seed=seed))
+                    n_nodes=2, threads_per_rank=8, lock=method, seed=seed, obs=obs))
             res = run_latency(cl, LatencyConfig(msg_size=size, n_iters=p.latency_iters))
             lat[(method, size)] = res.latency_us
     rows = [

@@ -9,9 +9,12 @@ thread; FCFS arbitration recovers a multi-fold speedup (paper: up to 5x).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..analysis.report import format_size
 from ..mpi.world import Cluster, ClusterConfig
 from ..workloads.rma_bench import RmaConfig, run_rma
+from ..obs import Instrument
 from .base import ExperimentResult
 from .config import preset
 
@@ -21,7 +24,9 @@ LOCKS = ("mutex", "ticket", "priority")
 OPS = ("put", "get", "acc")
 
 
-def run_fig9(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def run_fig9(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
     p = preset(quick)
     sizes = [s for s in p.sizes if s >= 8][:4]
     rates = {}
@@ -30,7 +35,7 @@ def run_fig9(quick: bool = True, seed: int = 1) -> ExperimentResult:
             for lock in LOCKS:
                 cl = Cluster(ClusterConfig(
                     n_nodes=8, threads_per_rank=1, lock=lock,
-                    async_progress=True, seed=seed,
+                    async_progress=True, seed=seed, obs=obs,
                 ))
                 res = run_rma(cl, RmaConfig(op=op, element_size=size, n_ops=p.rma_ops))
                 rates[(op, lock, size)] = res.rate_k

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Dict, Optional, Protocol
 
+from ..obs import Instrument
 from .base import ExperimentResult
 from .fig2 import run_fig2a, run_fig2b
 from .fig3 import run_fig3a, run_fig3c
@@ -15,7 +16,18 @@ from .fig10 import run_fig10a, run_fig10b, run_fig10c
 from .fig11 import run_fig11a, run_fig11b
 from .fig12 import run_fig12b
 
-__all__ = ["EXPERIMENTS", "EXPERIMENT_TITLES", "run_experiment"]
+__all__ = ["EXPERIMENTS", "EXPERIMENT_TITLES", "ExperimentRunner", "run_experiment"]
+
+
+class ExperimentRunner(Protocol):
+    """Every ``run_figXX`` runner implements this uniform signature."""
+
+    def __call__(
+        self,
+        quick: bool = True,
+        seed: int = 0,
+        obs: Optional[Instrument] = None,
+    ) -> ExperimentResult: ...
 
 #: One-line description per experiment (shown by ``python -m repro list``).
 EXPERIMENT_TITLES: Dict[str, str] = {
@@ -38,7 +50,7 @@ EXPERIMENT_TITLES: Dict[str, str] = {
     "fig12b": "mini-SWAP assembly: ~2x from fairness, no app change",
 }
 
-EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+EXPERIMENTS: Dict[str, ExperimentRunner] = {
     "fig2a": run_fig2a,
     "fig2b": run_fig2b,
     "fig3a": run_fig3a,
@@ -59,12 +71,40 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(name: str, quick: bool = True, seed: int = 1) -> ExperimentResult:
-    """Run one experiment by figure id (see ``EXPERIMENTS``)."""
+#: Keyword arguments every runner accepts (the uniform signature).
+_RUNNER_KWARGS = ("quick", "seed", "obs")
+
+
+def run_experiment(name: str, **kwargs: object) -> ExperimentResult:
+    """Run one experiment by figure id (see ``EXPERIMENTS``).
+
+    Accepted keyword arguments -- the uniform runner signature:
+
+    * ``quick`` (bool, default True): reduced sweep sizes;
+    * ``seed`` (int, default 0): master RNG seed;
+    * ``obs`` (:class:`repro.obs.Instrument`, default None): attach an
+      observability bus to every cluster the experiment builds.
+
+    Unknown kwargs raise ``TypeError`` naming the accepted set, so a
+    typo (``sed=3``) fails loudly instead of silently running defaults.
+    When a bus is passed, the result's ``data["obs"]`` carries its
+    emission stats.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         raise ValueError(
             f"unknown experiment {name!r}; expected one of {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(quick=quick, seed=seed)
+    unknown = sorted(set(kwargs) - set(_RUNNER_KWARGS))
+    if unknown:
+        raise TypeError(
+            f"run_experiment({name!r}) got unknown keyword argument(s) "
+            f"{', '.join(repr(k) for k in unknown)}; accepted: "
+            f"{', '.join(_RUNNER_KWARGS)}"
+        )
+    obs = kwargs.get("obs")
+    result = runner(**kwargs)  # type: ignore[arg-type]
+    if obs is not None:
+        result.data["obs"] = obs.stats()
+    return result

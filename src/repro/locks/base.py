@@ -70,6 +70,8 @@ class SimLock:
         self.line_owner: Optional[Core] = None
         self._contenders: Dict[int, ThreadCtx] = {}
         self._grant_time: float = 0.0
+        #: Core of the previous owner (hand-off distance instrumentation).
+        self._prev_owner_core: Optional[Core] = None
         #: Hooks ``cb(lock, ctx)`` invoked on every successful acquisition.
         self.on_grant: List[Callable] = []
         # Keyed by name (stable across runs), not the global lock_id:
@@ -152,6 +154,14 @@ class SimLock:
                 f"{ctx.name} re-acquiring {self.name} it already holds"
             )
         self._contenders[ctx.tid] = ctx
+        obs = self.sim.obs
+        if obs is not None and obs.wants("lock"):
+            obs.span_begin("lock", f"{self.name}.wait",
+                           rank=ctx.rank if ctx.rank is not None else -1,
+                           tid=ctx.tid)
+            obs.counter("lock", f"{self.name}.contenders",
+                        len(self._contenders),
+                        rank=ctx.rank if ctx.rank is not None else -1)
 
     def _grant(self, ctx: ThreadCtx) -> None:
         if self.owner is not None:
@@ -162,6 +172,31 @@ class SimLock:
         self._grant_time = self.sim.now
         if self.trace is not None:
             self.trace.record_grant(self.sim.now, ctx, self._contenders)
+        obs = self.sim.obs
+        if obs is not None and obs.wants("lock"):
+            rank = ctx.rank if ctx.rank is not None else -1
+            obs.span_end("lock", f"{self.name}.wait", rank=rank, tid=ctx.tid)
+            obs.span_begin("lock", f"{self.name}.hold", rank=rank, tid=ctx.tid)
+            # Grant instants carry everything the bias estimators need
+            # (winner socket, contender sockets at grant time, winner
+            # included) -- the LockTrace bus adapter rebuilds the paper's
+            # trace columns from these alone.
+            obs.instant(
+                "lock", f"{self.name}.grant", rank=rank, tid=ctx.tid,
+                args={
+                    "socket": ctx.socket,
+                    "sockets": tuple(
+                        c.socket for c in self._contenders.values()
+                    ),
+                },
+            )
+            prev = self._prev_owner_core
+            if prev is not None:
+                obs.instant(
+                    "lock", f"{self.name}.handoff", rank=rank, tid=ctx.tid,
+                    args={"distance": ctx.core.proximity(prev).name},
+                )
+        self._prev_owner_core = ctx.core
         del self._contenders[ctx.tid]
         for cb in self.on_grant:
             cb(self, ctx)
@@ -175,6 +210,15 @@ class SimLock:
             )
         if self.trace is not None:
             self.trace.record_release(self.sim.now, self._grant_time)
+        obs = self.sim.obs
+        if obs is not None and obs.wants("lock"):
+            # End the *owner's* hold span (strict_owner=False locks may
+            # be released by a different thread; the span lives on the
+            # lane that opened it).
+            own = self.owner
+            obs.span_end("lock", f"{self.name}.hold",
+                         rank=own.rank if own.rank is not None else -1,
+                         tid=own.tid)
         self.owner = None
 
     def __repr__(self) -> str:  # pragma: no cover

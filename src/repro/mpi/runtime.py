@@ -131,6 +131,10 @@ class MpiRuntime:
         self.coll_seq: Dict[int, int] = {}
         #: RMA windows by id (populated by repro.mpi.rma).
         self.windows: Dict[int, object] = {}
+        #: Name of the currently-open critical-section span ("cs.main"
+        #: or "cs.progress").  Safe as a single slot: the CS is mutually
+        #: exclusive, so at most one holder span is open per runtime.
+        self._cs_span: Optional[str] = None
 
     # ==================================================================
     # Critical section
@@ -141,10 +145,21 @@ class MpiRuntime:
         else:
             self.stats.cs_entries_progress += 1
         yield from self.lock.acquire(ctx, priority=priority)
+        obs = self.sim.obs
+        if obs is not None and obs.wants("mpi"):
+            # Occupancy span, named by entry path (paper Fig. 6a): the
+            # main path enters HIGH, the progress loop re-enters LOW.
+            name = "cs.main" if priority == Priority.HIGH else "cs.progress"
+            self._cs_span = name
+            obs.span_begin("mpi", name, rank=self.rank, tid=ctx.tid)
 
     def _cs_release(self, ctx: ThreadCtx):
         """Generator: releases the CS and charges the releaser-side cost
         (a contended mutex unlock pays the FUTEX_WAKE syscall)."""
+        obs = self.sim.obs
+        if obs is not None and self._cs_span is not None:
+            obs.span_end("mpi", self._cs_span, rank=self.rank, tid=ctx.tid)
+            self._cs_span = None
         cost = self.lock.release(ctx)
         if cost > 0.0:
             yield self.sim.timeout(cost)
@@ -179,6 +194,9 @@ class MpiRuntime:
         req.mark_complete(self.sim.now)
         self.dangling_count += 1
         self.stats.completed += 1
+        obs = self.sim.obs
+        if obs is not None and obs.wants("mpi"):
+            obs.counter("mpi", "dangling", self.dangling_count, rank=self.rank)
         if self.event_driven_wait:
             self._activity.fire()
 
@@ -187,6 +205,16 @@ class MpiRuntime:
         self.dangling_count -= 1
         self.stats.freed += 1
         self.requests.pop(req.req_id, None)
+        obs = self.sim.obs
+        if obs is not None and obs.wants("mpi"):
+            obs.counter("mpi", "dangling", self.dangling_count, rank=self.rank)
+
+    def _emit_queue_depths(self) -> None:
+        """Sample matching-queue depths (call after any queue mutation)."""
+        obs = self.sim.obs
+        if obs is not None and obs.wants("mpi"):
+            obs.counter("mpi", "posted_q", len(self.posted_q), rank=self.rank)
+            obs.counter("mpi", "unexp_q", len(self.unexp_q), rank=self.rank)
 
     # ==================================================================
     # Main-path operations (generators; called via MpiThread)
@@ -281,6 +309,7 @@ class MpiRuntime:
             )
             req.data = msg.data
             self._complete(req)
+        self._emit_queue_depths()
         yield from self._cs_release(ctx)
         return req
 
@@ -461,6 +490,11 @@ class MpiRuntime:
         q = self.nic.recv_q
         if not q:
             self.stats.empty_polls += 1
+            obs = self.sim.obs
+            if obs is not None and obs.wants("mpi"):
+                # The paper's "wasted acquisition": a full CS round-trip
+                # that progressed nothing.
+                obs.instant("mpi", "poll.empty", rank=self.rank, tid=ctx.tid)
             yield self._cs_time(self.costs.cs_poll_empty)
             return False
         # Handle a bounded batch; the rest waits for the next poll (a
@@ -478,6 +512,10 @@ class MpiRuntime:
 
     def _handle_packet(self, ctx: ThreadCtx, pkt: Packet):
         self.stats.packets_handled += 1
+        obs = self.sim.obs
+        if obs is not None and obs.wants("mpi"):
+            obs.counter("mpi", "packets_handled", self.stats.packets_handled,
+                        rank=self.rank)
         yield self._cs_time(self.costs.cs_poll_packet)
         kind = pkt.kind
         if kind is PacketKind.EAGER:
@@ -539,6 +577,8 @@ class MpiRuntime:
             yield from handler.handle_packet(ctx, pkt)
         else:
             raise RuntimeError(f"unhandled packet kind {kind}")
+        if kind is PacketKind.EAGER or kind is PacketKind.RTS:
+            self._emit_queue_depths()
 
     def _send_cts(self, dest: int, sender_req_id: int, recv_req_id: int) -> None:
         pkt = Packet(

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..locks import LockTrace, make_lock
+from ..locks import LOCK_CLASSES, LockTrace, make_lock
 from ..machine import (
     BINDINGS,
     CostModel,
@@ -29,6 +29,7 @@ from ..machine import (
     ThreadCtx,
 )
 from ..network import Fabric, NetworkConfig
+from ..obs import Instrument
 from ..sim import Simulator
 from .collectives import Communicator
 from .runtime import MpiRuntime, MpiThread
@@ -36,8 +37,17 @@ from .runtime import MpiRuntime, MpiThread
 __all__ = ["ClusterConfig", "Cluster"]
 
 
-@dataclass
+@dataclass(kw_only=True)
 class ClusterConfig:
+    """Cluster shape and runtime knobs.
+
+    All fields are keyword-only (a positional ``ClusterConfig(2, 1, 8)``
+    is unreadable and fragile as fields accrete), and the ``lock`` /
+    ``binding`` names are validated here against their registries -- a
+    typo fails at construction with the valid names listed, not deep
+    inside ``Cluster.__init__``.
+    """
+
     n_nodes: int = 2
     ranks_per_node: int = 1
     threads_per_rank: int = 1
@@ -58,6 +68,26 @@ class ClusterConfig:
     cs_granularity: str = "global"
     #: Record a LockTrace per rank (bias analysis needs this).
     trace_locks: bool = False
+    #: Observability bus to attach (see :mod:`repro.obs`); None = no
+    #: instrumentation overhead at all.
+    obs: Optional[Instrument] = None
+
+    def __post_init__(self) -> None:
+        if self.lock not in LOCK_CLASSES:
+            raise ValueError(
+                f"unknown lock {self.lock!r}; valid locks: "
+                f"{', '.join(sorted(LOCK_CLASSES))}"
+            )
+        if self.binding not in BINDINGS:
+            raise ValueError(
+                f"unknown binding {self.binding!r}; valid bindings: "
+                f"{', '.join(sorted(BINDINGS))}"
+            )
+        if self.cs_granularity not in ("global", "brief"):
+            raise ValueError(
+                f"unknown cs_granularity {self.cs_granularity!r}; "
+                f"valid granularities: brief, global"
+            )
 
     @property
     def n_ranks(self) -> int:
@@ -78,6 +108,11 @@ class Cluster:
             )
         self.config = config
         self.sim = Simulator(seed=config.seed)
+        if config.obs is not None:
+            # Single attach point: everything holding this sim emits
+            # through sim.obs.  Rebinding is deliberate -- sweep
+            # experiments reuse one bus across many clusters.
+            config.obs.bind_sim(self.sim)
         self.machines: List[Machine] = [
             Machine(node_id=n, spec=config.machine_spec)
             for n in range(config.n_nodes)
@@ -117,6 +152,10 @@ class Cluster:
                 )
                 ths.append(MpiThread(rt, ctx))
             self.threads.append(ths)
+            if config.obs is not None:
+                config.obs.declare_process(rank, f"rank {rank} (node {node})")
+                for th in ths:
+                    config.obs.declare_thread(rank, th.ctx.tid, th.ctx.name)
 
         self.world = Communicator.world(config.n_ranks)
 
@@ -147,6 +186,8 @@ class Cluster:
             core = chunk[cfg.threads_per_rank % len(chunk)]
         ctx = ThreadCtx(core, name=f"r{rank}async", rank=rank)
         self._progress_ctxs.append(ctx)
+        if cfg.obs is not None:
+            cfg.obs.declare_thread(rank, ctx.tid, ctx.name)
         rt = self.runtimes[rank]
 
         def loop():

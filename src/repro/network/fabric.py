@@ -140,6 +140,24 @@ class Fabric:
 
         src.sent_packets += 1
         src.sent_bytes += wire_bytes
+        obs = self.sim.obs
+        if obs is not None and obs.wants("net"):
+            # One async span per packet, matched by sequence number:
+            # injection at the source to delivery at the destination.
+            obs.async_begin(
+                "net", packet.kind.value, span_id=packet.seq,
+                rank=packet.src_rank,
+                src=packet.src_rank, dst=packet.dst_rank, nbytes=packet.nbytes,
+            )
+            # Link occupancy: how far behind "now" the serialization
+            # point is after this reservation (queueing backlog, us).
+            obs.counter("net", "inject.backlog_us",
+                        max(0.0, src.inject.busy_until - now) * 1e6,
+                        rank=packet.src_rank)
+            if src.node != dst.node:
+                obs.counter("net", "uplink.backlog_us",
+                            max(0.0, self._uplinks[src.node].busy_until - now) * 1e6,
+                            rank=packet.src_rank)
         local_done = self.sim.timeout(inject_done - now)
         self.sim.call_at(deliver_at - now, self._deliver, dst, packet)
         return local_done
@@ -147,6 +165,13 @@ class Fabric:
     def _deliver(self, nic: RankNic, packet: Packet) -> None:
         nic.recv_q.append(packet)
         nic.recv_packets += 1
+        obs = self.sim.obs
+        if obs is not None and obs.wants("net"):
+            obs.async_end(
+                "net", packet.kind.value, span_id=packet.seq,
+                rank=packet.src_rank,
+                src=packet.src_rank, dst=packet.dst_rank, nbytes=packet.nbytes,
+            )
         if nic.on_packet is not None:
             nic.on_packet(packet)
         for cb in self.on_deliver:

@@ -44,13 +44,29 @@ class TrafficSummary:
 
 
 class PacketTracer:
-    """Records every packet the fabric delivers."""
+    """Records every packet the fabric delivers.
 
-    def __init__(self, fabric: Fabric):
+    Attach directly to a fabric (the historical path) or to the unified
+    observability bus with :meth:`from_bus` -- both produce the same
+    record stream for the same run.
+    """
+
+    def __init__(self, fabric: Optional[Fabric] = None):
         self.fabric = fabric
         self.records: List[PacketRecord] = []
         self._hook = self._on_deliver
-        fabric.on_deliver.append(self._hook)
+        self._bus = None
+        if fabric is not None:
+            fabric.on_deliver.append(self._hook)
+
+    @classmethod
+    def from_bus(cls, bus) -> "PacketTracer":
+        """A tracer rebuilt as a thin adapter over ``net`` bus events
+        (packet async-span ends are deliveries)."""
+        tracer = cls(fabric=None)
+        tracer._bus = bus
+        bus.subscribe(tracer._on_event, categories=("net",))
+        return tracer
 
     def _on_deliver(self, pkt: Packet) -> None:
         self.records.append(
@@ -63,8 +79,26 @@ class PacketTracer:
             )
         )
 
+    def _on_event(self, ev) -> None:
+        if ev.kind.name != "ASYNC_END" or ev.args is None:
+            return
+        self.records.append(
+            PacketRecord(
+                time=ev.ts,
+                kind=PacketKind(ev.name),
+                src_rank=ev.args["src"],
+                dst_rank=ev.args["dst"],
+                nbytes=ev.args["nbytes"],
+            )
+        )
+
     def detach(self) -> None:
-        self.fabric.on_deliver.remove(self._hook)
+        if self.fabric is not None:
+            self.fabric.on_deliver.remove(self._hook)
+            self.fabric = None
+        if self._bus is not None:
+            self._bus.unsubscribe(self._on_event)
+            self._bus = None
 
     def __len__(self) -> int:
         return len(self.records)

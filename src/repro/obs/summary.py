@@ -1,0 +1,133 @@
+"""Aggregated views of an event stream: per-run text summary and the
+counters/timeseries dump.
+
+These are the "no browser handy" exporters: ``summarize`` answers
+"where did the time go" at the terminal, ``counters_dump`` feeds
+plotting / regression tooling with plain JSON-able series.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from .events import ObsEvent
+from .recorder import EventLog
+
+__all__ = ["span_totals", "counters_dump", "summarize"]
+
+
+def _as_log(events) -> EventLog:
+    if isinstance(events, EventLog):
+        return events
+    log = EventLog()
+    for ev in events:
+        log.append(ev)
+    return log
+
+
+def span_totals(events: Iterable[ObsEvent]) -> Dict[Tuple[str, str], dict]:
+    """Aggregate closed spans by ``(category, name)``: count, total and
+    mean duration in seconds."""
+    log = _as_log(events)
+    agg: Dict[Tuple[str, str], dict] = {}
+    for span in log.spans():
+        entry = agg.setdefault(
+            (span.category, span.name),
+            {"count": 0, "total_s": 0.0, "max_s": 0.0},
+        )
+        entry["count"] += 1
+        entry["total_s"] += span.duration
+        if span.duration > entry["max_s"]:
+            entry["max_s"] = span.duration
+    for entry in agg.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+    return agg
+
+
+def counters_dump(events: Iterable[ObsEvent]) -> dict:
+    """Counter series as a JSON-able dict:
+    ``{"category/name": {"rank": r, "series": [[ts, value], ...]}}``
+    (one entry per ``(category, name, rank)``)."""
+    log = _as_log(events)
+    out: dict = {}
+    for (cat, name, rank), series in log.counters().items():
+        key = f"{cat}/{name}" + (f"@rank{rank}" if rank >= 0 else "")
+        out[key] = {
+            "category": cat,
+            "name": name,
+            "rank": rank,
+            "series": [[ts, value] for ts, value in series],
+        }
+    return out
+
+
+def summarize(events: Iterable[ObsEvent], dropped: int = 0) -> str:
+    """Human-readable per-run roll-up of the event stream."""
+    # Imported lazily: repro.analysis pulls in repro.mpi, which imports
+    # repro.obs -- a module-level import here would close that cycle.
+    from ..analysis.report import format_table
+
+    log = _as_log(events)
+    if not len(log) and not dropped:
+        return "(no events recorded)"
+
+    n_by_kind: Dict[str, int] = defaultdict(int)
+    for ev in log:
+        n_by_kind[ev.kind.name] += 1
+
+    sections: List[str] = []
+    head = f"{len(log)} events"
+    if dropped:
+        head += f" (+{dropped} dropped past the event cap)"
+    head += "  [" + ", ".join(
+        f"{k.lower()}={v}" for k, v in sorted(n_by_kind.items())
+    ) + "]"
+    sections.append(head)
+
+    totals = span_totals(log)
+    if totals:
+        rows = [
+            [cat, name, entry["count"],
+             f"{entry['total_s'] * 1e6:.3f}",
+             f"{entry['mean_s'] * 1e9:.1f}",
+             f"{entry['max_s'] * 1e9:.1f}"]
+            for (cat, name), entry in sorted(
+                totals.items(), key=lambda kv: -kv[1]["total_s"]
+            )
+        ]
+        sections.append(format_table(
+            ["category", "span", "count", "total (us)", "mean (ns)", "max (ns)"],
+            rows, title="Span time on the simulated clock",
+        ))
+
+    counter_series = log.counters()
+    if counter_series:
+        rows = []
+        for (cat, name, rank), series in sorted(counter_series.items()):
+            values = [v for _ts, v in series]
+            rows.append([
+                cat, name, rank if rank >= 0 else "-", len(series),
+                f"{values[-1]:g}", f"{max(values):g}",
+            ])
+        sections.append(format_table(
+            ["category", "counter", "rank", "samples", "last", "max"],
+            rows, title="Counters",
+        ))
+
+    instants = log.instants()
+    if instants:
+        by_name: Dict[Tuple[str, str], int] = defaultdict(int)
+        for ev in instants:
+            if ev.category != "meta":
+                by_name[(ev.category, ev.name)] += 1
+        if by_name:
+            rows = [
+                [cat, name, n]
+                for (cat, name), n in sorted(by_name.items(), key=lambda kv: -kv[1])
+            ]
+            sections.append(format_table(
+                ["category", "instant", "count"], rows, title="Instant events",
+            ))
+
+    return "\n\n".join(sections)

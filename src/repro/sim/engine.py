@@ -42,6 +42,11 @@ class Simulator:
         self._active_process: Optional[Process] = None
         self._crashed: list = []
         self.rng = RngStreams(seed)
+        #: Observability bus (:class:`repro.obs.Instrument`) or None.
+        #: Every component holding a ``sim`` reference emits through
+        #: this single attach point; ``None`` means instrumentation is
+        #: disabled and costs one attribute check.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Factories
@@ -88,6 +93,9 @@ class Simulator:
         if when < self.now:
             raise AssertionError("time went backwards")  # pragma: no cover
         self.now = when
+        obs = self.obs
+        if obs is not None and event.name and obs.wants("sim"):
+            obs.instant("sim", "dispatch", args={"event": event.name})
         event._process()
         if self._crashed:
             process, exc = self._crashed.pop()

@@ -73,6 +73,9 @@ class Process(Event):
             # Stale wakeup from an event we stopped waiting on (interrupt).
             return
         self._waiting_on = None
+        obs = self.sim.obs
+        if obs is not None and obs.wants("sim"):
+            obs.instant("sim", "wake", args={"process": self.name})
         self.sim._active_process, prev = self, self.sim._active_process
         to_throw: BaseException | None = None if event.ok else event.value
         if not event.ok:

@@ -1,0 +1,88 @@
+"""Chrome-trace JSON export: schema, lane balance, round-trip."""
+
+import json
+
+from repro.obs import Recording
+from repro.workloads import ThroughputConfig, run_throughput, throughput_cluster
+
+VALID_PHASES = {"B", "E", "b", "e", "C", "i", "M"}
+
+
+def _traced_run():
+    rec = Recording()
+    cl = throughput_cluster(lock="ticket", threads_per_rank=2, seed=3,
+                            obs=rec.bus)
+    run_throughput(cl, ThroughputConfig(msg_size=8, n_windows=2))
+    return rec
+
+
+def test_chrome_trace_schema(tmp_path):
+    rec = _traced_run()
+    path = tmp_path / "trace.json"
+    rec.write_chrome_trace(path)
+    doc = json.loads(path.read_text())
+
+    assert set(doc) >= {"traceEvents", "displayTimeUnit", "otherData"}
+    assert doc["displayTimeUnit"] == "ns"
+    events = doc["traceEvents"]
+    assert events, "empty trace"
+    for ev in events:
+        assert ev["ph"] in VALID_PHASES, ev
+        assert isinstance(ev["name"], str) and ev["name"]
+        assert isinstance(ev["pid"], int)
+        if ev["ph"] != "M":
+            assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+            assert ev["cat"] in ("sim", "lock", "mpi", "net")
+        if ev["ph"] == "C":
+            assert "value" in ev["args"]
+        if ev["ph"] in ("b", "e"):
+            assert "id" in ev
+
+
+def test_begin_end_balanced_per_lane():
+    doc = _traced_run().chrome_trace()
+    depth = {}
+    for ev in doc["traceEvents"]:
+        if ev["ph"] == "B":
+            depth[(ev["pid"], ev["tid"])] = depth.get((ev["pid"], ev["tid"]), 0) + 1
+        elif ev["ph"] == "E":
+            lane = (ev["pid"], ev["tid"])
+            depth[lane] = depth.get(lane, 0) - 1
+            assert depth[lane] >= 0, f"E before B on lane {lane}"
+    assert all(v == 0 for v in depth.values()), depth
+
+
+def test_async_packet_spans_match_by_id():
+    doc = _traced_run().chrome_trace()
+    begins = {e["id"] for e in doc["traceEvents"] if e["ph"] == "b"}
+    ends = {e["id"] for e in doc["traceEvents"] if e["ph"] == "e"}
+    assert begins and begins == ends
+
+
+def test_timestamps_are_sim_microseconds():
+    rec = _traced_run()
+    doc = rec.chrome_trace()
+    # The exporter scales simulated seconds by 1e6.
+    max_ts_us = max(e["ts"] for e in doc["traceEvents"] if "ts" in e)
+    max_ev_s = max(ev.ts for ev in rec.events)
+    assert abs(max_ts_us - max_ev_s * 1e6) < 1e-6
+
+
+def test_metadata_names_ranks_and_threads():
+    doc = _traced_run().chrome_trace()
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    names = {e["name"] for e in meta}
+    assert {"process_name", "thread_name"} <= names
+    labels = [e["args"]["name"] for e in meta if e["name"] == "process_name"]
+    assert any("rank 0" in s for s in labels)
+
+
+def test_dropped_events_reported_not_silent():
+    rec = Recording(max_events=10)
+    cl = throughput_cluster(lock="mutex", threads_per_rank=2, seed=3,
+                            obs=rec.bus)
+    run_throughput(cl, ThroughputConfig(msg_size=8, n_windows=1))
+    assert rec.log.dropped > 0
+    doc = rec.chrome_trace()
+    assert doc["otherData"]["dropped_events"] == rec.log.dropped
+    assert "dropped" in rec.summary()

@@ -1,0 +1,92 @@
+"""Tracing must not perturb the simulation.
+
+The bus only *reads* the simulated clock -- it never schedules events,
+yields, or consumes random numbers -- so a run with a bus attached must
+be bit-identical (simulated clock and results) to the same run without
+one.  These tests pin that invariant, plus the equivalence of the three
+legacy profilers rebuilt as bus adapters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dangling import DanglingProfiler
+from repro.experiments import run_experiment
+from repro.locks.stats import LockTrace
+from repro.network.trace import PacketTracer
+from repro.obs import Instrument, Recording
+from repro.workloads import ThroughputConfig, run_throughput, throughput_cluster
+
+
+def _run(tpn, obs=None, **overrides):
+    """One fig2a-size cell: mutex throughput at `tpn` threads/rank."""
+    cl = throughput_cluster(lock="mutex", threads_per_rank=tpn, seed=7,
+                            obs=obs, **overrides)
+    res = run_throughput(cl, ThroughputConfig(msg_size=64, n_windows=3))
+    return cl, res
+
+
+@pytest.mark.parametrize("tpn", [2, 4])
+def test_bus_does_not_perturb_simulated_time(tpn):
+    cl_plain, res_plain = _run(tpn)
+    rec = Recording()  # full default trace: lock, mpi, net, meta
+    cl_traced, res_traced = _run(tpn, obs=rec.bus)
+
+    assert len(rec.events) > 0, "bus attached but nothing recorded"
+    # Bit-identical, not approximately equal.
+    assert cl_traced.sim.now == cl_plain.sim.now
+    assert res_traced.elapsed_s == res_plain.elapsed_s
+    assert res_traced.msg_rate_k == res_plain.msg_rate_k
+    assert res_traced.total_messages == res_plain.total_messages
+    assert res_traced.dangling == res_plain.dangling
+
+
+def test_experiment_rows_identical_with_and_without_bus():
+    plain = run_experiment("fig2b", quick=True, seed=5)
+    rec = Recording()
+    traced = run_experiment("fig2b", quick=True, seed=5, obs=rec.bus)
+    assert traced.rows == plain.rows
+    assert traced.checks == plain.checks
+    assert traced.data["obs"]["total"] == len(rec.events) + rec.log.dropped
+
+
+def test_locktrace_adapter_matches_direct_path():
+    bus = Instrument()
+    receiver_lock = "mutex@rank1"
+    from_bus = LockTrace.from_bus(bus, lock_name=receiver_lock)
+    cl, _ = _run(2, obs=bus, trace_locks=True)
+    direct = cl.lock_traces[1]
+
+    a, b = direct.as_arrays(), from_bus.as_arrays()
+    assert set(a) == set(b)
+    for col in a:
+        np.testing.assert_array_equal(a[col], b[col], err_msg=col)
+    assert len(direct) > 0
+
+
+def test_packettracer_adapter_matches_direct_path():
+    bus = Instrument()
+    from_bus = PacketTracer.from_bus(bus)
+    cl, _ = _run(2, obs=bus)
+    # Rebuild the direct-path records by replaying is impossible after
+    # the fact, so run the same config again with a fabric-attached
+    # tracer; determinism (pinned above) makes the runs comparable.
+    cl2 = throughput_cluster(lock="mutex", threads_per_rank=2, seed=7)
+    direct = PacketTracer(cl2.fabric)
+    run_throughput(cl2, ThroughputConfig(msg_size=64, n_windows=3))
+
+    assert len(from_bus) == len(direct) > 0
+    assert from_bus.records == direct.records
+    assert from_bus.summary() == direct.summary()
+
+
+def test_dangling_profiler_adapter_matches_direct_path():
+    bus = Instrument()
+    cl = throughput_cluster(lock="ticket", threads_per_rank=2, seed=7, obs=bus)
+    direct = DanglingProfiler(cl.runtimes[1])
+    from_bus = DanglingProfiler.from_bus(bus, cl.runtimes[1])
+    run_throughput(cl, ThroughputConfig(msg_size=64, n_windows=3))
+
+    assert direct.samples == from_bus.samples
+    assert len(direct.samples) > 0
+    assert direct.stats == from_bus.stats

@@ -38,6 +38,41 @@ def test_run_single_experiment(capsys):
     assert "[PASS]" in out
 
 
+def test_run_format_json(capsys):
+    import json
+
+    assert main(["run", "fig2b", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["exp_id"] == "fig2b"
+    assert doc["ok"] is True
+    assert doc["headers"] and doc["rows"]
+
+
+def test_trace_writes_chrome_trace(capsys, tmp_path):
+    import json
+
+    out = tmp_path / "trace.json"
+    counters = tmp_path / "counters.json"
+    assert main(["trace", "fig2b", "--out", str(out),
+                 "--counters", str(counters)]) == 0
+    printed = capsys.readouterr().out
+    assert "chrome trace written" in printed
+
+    doc = json.loads(out.read_text())
+    assert doc["displayTimeUnit"] == "ns"
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "cs.main" in names
+    assert any(n.endswith(".hold") for n in names)
+
+    series = json.loads(counters.read_text())
+    assert any(k.startswith("mpi/") for k in series)
+
+
+def test_trace_unknown_experiment(capsys):
+    assert main(["trace", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
 def test_throughput_command(capsys):
     assert main(["throughput", "--lock", "ticket", "--threads", "2",
                  "--size", "64", "--windows", "2"]) == 0
