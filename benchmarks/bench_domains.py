@@ -1,0 +1,84 @@
+"""Micro-benchmark: simulator cost and simulated payoff of domain sharding.
+
+Runs the N2N streaming workload at 8 threads/rank with the critical
+section split into 1/2/4/8 per-VCI arbitration domains and records, per
+domain count:
+
+* **events_per_sec** -- host-side simulator throughput (scheduled events
+  per wall second): what the domain machinery costs *us*;
+* **msg_rate_k** -- simulated N2N message rate (10^3 msgs/s): what the
+  sharding buys the *simulated* runtime;
+* **peak_dangling** -- rank-wide starvation high-water mark.
+
+The baseline is committed at ``results/BENCH_domains.json`` so future
+changes to the domain layer can be diffed against it::
+
+    PYTHONPATH=src python benchmarks/bench_domains.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.mpi import Cluster, ClusterConfig
+from repro.workloads import N2NConfig, run_n2n
+
+RESULTS = pathlib.Path(__file__).parent / "results" / "BENCH_domains.json"
+
+DOMAIN_COUNTS = (1, 2, 4, 8)
+THREADS = 8
+CFG = dict(msg_size=1024, window=2, n_windows=2, style="rounds")
+
+
+def bench_one(n_domains: int, seed: int = 1) -> dict:
+    cl = Cluster(ClusterConfig(
+        n_nodes=2, threads_per_rank=THREADS, lock="mutex",
+        cs=f"per-vci:{n_domains}", seed=seed,
+    ))
+    # Count scheduled events by wrapping the simulator's scheduler: the
+    # engine keeps no processed-event counter and scheduled == processed
+    # once the heap runs dry.
+    n_events = 0
+    schedule = cl.sim._schedule
+
+    def counting_schedule(event, delay):
+        nonlocal n_events
+        n_events += 1
+        return schedule(event, delay)
+
+    cl.sim._schedule = counting_schedule
+    t0 = time.perf_counter()
+    res = run_n2n(cl, N2NConfig(**CFG))
+    wall = time.perf_counter() - t0
+    return {
+        "n_domains": n_domains,
+        "threads_per_rank": THREADS,
+        "events": n_events,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(n_events / wall),
+        "msg_rate_k": res.msg_rate_k,
+        "peak_dangling": max(rt.peak_dangling for rt in cl.runtimes),
+    }
+
+
+def main() -> None:
+    rows = [bench_one(n) for n in DOMAIN_COUNTS]
+    payload = {
+        "bench": "arbitration-domain sharding (N2N, 2 ranks x 8 threads)",
+        "workload": CFG,
+        "rows": rows,
+    }
+    RESULTS.parent.mkdir(exist_ok=True)
+    RESULTS.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"{'domains':>8} {'events':>9} {'ev/s':>9} {'msg rate (k/s)':>15} "
+          f"{'peak dangling':>14}")
+    for r in rows:
+        print(f"{r['n_domains']:>8} {r['events']:>9} {r['events_per_sec']:>9} "
+              f"{r['msg_rate_k']:>15.1f} {r['peak_dangling']:>14}")
+    print(f"written to {RESULTS}")
+
+
+if __name__ == "__main__":
+    main()

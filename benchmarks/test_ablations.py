@@ -274,7 +274,6 @@ def test_ablation_socket_aware_lock_starves(benchmark):
                 s.process(worker(ThreadCtx(c, name=f"t{i}")))
             s.run()
             per_socket = {0: 0, 1: 0}
-            counts = trace.acquisitions_by_tid()
             arrays = trace.as_arrays()
             for sock, n in zip(arrays["sockets"], [1] * len(trace)):
                 per_socket[int(sock)] += n

@@ -41,17 +41,23 @@ class DanglingProfiler:
         self._hook = lambda lock, ctx: self.samples.append(runtime.dangling_count)
         self._bus = None
         if _attach:
-            runtime.lock.on_grant.append(self._hook)
+            # Hook every arbitration domain's lock: any CS grant on this
+            # rank is a sampling instant (with the global policy this is
+            # exactly the single-lock behaviour).
+            for dom in runtime.domains:
+                dom.lock.on_grant.append(self._hook)
 
     @classmethod
     def from_bus(cls, bus, runtime: MpiRuntime) -> "DanglingProfiler":
         """Sample on this runtime's lock-grant events from the bus."""
         prof = cls(runtime, _attach=False)
         prof._bus = bus
-        grant_name = f"{runtime.lock.name}.grant"
+        grant_names = frozenset(
+            f"{dom.lock.name}.grant" for dom in runtime.domains
+        )
 
-        def on_event(ev, _prof=prof, _name=grant_name):
-            if ev.kind.name == "INSTANT" and ev.name == _name:
+        def on_event(ev, _prof=prof, _names=grant_names):
+            if ev.kind.name == "INSTANT" and ev.name in _names:
                 _prof.samples.append(_prof.runtime.dangling_count)
 
         prof._bus_hook = on_event
@@ -63,7 +69,8 @@ class DanglingProfiler:
             self._bus.unsubscribe(self._bus_hook)
             self._bus = None
         else:
-            self.runtime.lock.on_grant.remove(self._hook)
+            for dom in self.runtime.domains:
+                dom.lock.on_grant.remove(self._hook)
 
     # ------------------------------------------------------------------
     @property

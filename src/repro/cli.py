@@ -123,13 +123,14 @@ def _cmd_throughput(args) -> int:
 
     cluster = throughput_cluster(
         lock=args.lock, threads_per_rank=args.threads,
-        binding=args.binding, seed=args.seed,
+        binding=args.binding, seed=args.seed, cs=args.cs,
     )
     res = run_throughput(cluster, ThroughputConfig(
         msg_size=args.size, n_windows=args.windows))
     print(format_table(
-        ["lock", "threads", "size (B)", "rate (10^3 msg/s)", "avg dangling"],
-        [[args.lock, args.threads, args.size,
+        ["lock", "cs", "threads", "size (B)", "rate (10^3 msg/s)",
+         "avg dangling"],
+        [[args.lock, cluster.config.cs.spec(), args.threads, args.size,
           f"{res.msg_rate_k:.0f}", f"{res.dangling.mean:.1f}"]],
         title="pt2pt throughput",
     ))
@@ -183,6 +184,10 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--size", type=int, default=8)
     tp.add_argument("--windows", type=int, default=6)
     tp.add_argument("--binding", choices=("compact", "scatter"), default="compact")
+    tp.add_argument("--cs", default="global", metavar="POLICY",
+                    help="critical-section domain policy: 'global' (paper), "
+                         "'per-peer', 'per-tag:N', 'per-vci:N' or "
+                         "'per-vci:N:LOCK' (default: global)")
     tp.add_argument("--seed", type=int, default=1)
     tp.set_defaults(fn=_cmd_throughput)
     return ap

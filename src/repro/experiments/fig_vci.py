@@ -1,0 +1,116 @@
+"""Beyond the paper: per-VCI arbitration domains vs lock remedies.
+
+The paper's remedies (ticket, priority) re-arbitrate a *single* global
+critical section; follow-on VCI work (Zambre et al.) shows that
+*sharding* the runtime removes the contention instead of managing it.
+This experiment runs the N2N streaming benchmark (paper 5.2) with the
+global critical section under each paper lock and with the runtime split
+into four per-VCI arbitration domains (plain mutexes per domain):
+
+* at high thread counts the sharded mutex beats even the priority lock
+  -- threads on disjoint communication paths stop contending at all;
+* sharding also bounds starvation: the peak dangling-request count under
+  per-VCI domains stays at or below the global mutex's;
+* with a single domain the machinery degenerates exactly (bit-for-bit)
+  to the paper's global critical section, so the paper's results are a
+  special case of this model, not a separate code path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mpi.world import Cluster, ClusterConfig
+from ..obs import Instrument
+from ..workloads.n2n import N2NConfig, run_n2n
+from .base import ExperimentResult
+
+__all__ = ["run_fig_vci"]
+
+#: Global-CS arbitration methods compared against sharding.
+GLOBAL_LOCKS = ("mutex", "ticket", "priority")
+SHARDED = "per-vci:4"
+
+
+def _cell(
+    threads: int, lock: str, cs: str, cfg: N2NConfig, seed: int,
+    obs: Optional[Instrument],
+):
+    cl = Cluster(ClusterConfig(
+        n_nodes=2, threads_per_rank=threads, lock=lock, cs=cs,
+        seed=seed, obs=obs,
+    ))
+    res = run_n2n(cl, cfg)
+    peak = max(rt.peak_dangling for rt in cl.runtimes)
+    return res, peak
+
+
+def run_fig_vci(
+    quick: bool = True, seed: int = 0, obs: Optional[Instrument] = None,
+) -> ExperimentResult:
+    thread_counts = (4, 8) if quick else (2, 4, 8, 16)
+    cfg = N2NConfig(
+        msg_size=1024, window=2 if quick else 4, n_windows=2, style="rounds",
+    )
+
+    rates = {}
+    peaks = {}
+    for threads in thread_counts:
+        for lock in GLOBAL_LOCKS:
+            res, peak = _cell(threads, lock, "global", cfg, seed, obs)
+            rates[(threads, lock)] = res.msg_rate_k
+            peaks[(threads, lock)] = peak
+        res, peak = _cell(threads, "mutex", SHARDED, cfg, seed, obs)
+        rates[(threads, SHARDED)] = res.msg_rate_k
+        peaks[(threads, SHARDED)] = peak
+
+    # Degeneracy: one per-vci domain must *be* the global critical
+    # section -- same simulated schedule, bit-identical rate.
+    t0 = thread_counts[0]
+    res_one, _ = _cell(t0, "mutex", "per-vci:1", cfg, seed, None)
+    degenerate = res_one.msg_rate_k == rates[(t0, "mutex")]
+
+    rows = []
+    for threads in thread_counts:
+        m, t, pr = (rates[(threads, lk)] for lk in GLOBAL_LOCKS)
+        v = rates[(threads, SHARDED)]
+        rows.append([
+            str(threads), f"{m:.1f}", f"{t:.1f}", f"{pr:.1f}", f"{v:.1f}",
+            f"{v / pr:.2f}x",
+            str(peaks[(threads, "mutex")]), str(peaks[(threads, SHARDED)]),
+        ])
+
+    hi = max(thread_counts)
+    return ExperimentResult(
+        exp_id="fig_vci",
+        title=(
+            "N2N message rate (10^3 msgs/s): global CS locks vs "
+            f"{SHARDED} arbitration domains, 2 ranks"
+        ),
+        headers=[
+            "threads", "mutex", "ticket", "priority", SHARDED,
+            "vci/priority", "peak dangling (mutex)", f"peak dangling ({SHARDED})",
+        ],
+        rows=rows,
+        checks={
+            "per-VCI sharding beats the priority lock at high thread counts":
+                rates[(hi, SHARDED)] > rates[(hi, "priority")],
+            "per-VCI sharding beats every global-CS lock at high thread counts":
+                rates[(hi, SHARDED)] > max(rates[(hi, lk)] for lk in GLOBAL_LOCKS),
+            "sharding bounds starvation (peak dangling <= global mutex)":
+                all(
+                    peaks[(t, SHARDED)] <= peaks[(t, "mutex")]
+                    for t in thread_counts
+                ),
+            "one domain degenerates to the global critical section "
+            "(bit-identical rate)": degenerate,
+        },
+        data={"rates": rates, "peak_dangling": peaks,
+              "degenerate_rate": res_one.msg_rate_k},
+        notes=[
+            "sharded domains use plain mutexes: the win comes from not "
+            "contending, not from smarter arbitration",
+            f"vci/priority at {hi} threads: "
+            f"{rates[(hi, SHARDED)] / rates[(hi, 'priority')]:.2f}x",
+        ],
+    )

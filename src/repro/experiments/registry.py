@@ -15,6 +15,7 @@ from .fig9 import run_fig9
 from .fig10 import run_fig10a, run_fig10b, run_fig10c
 from .fig11 import run_fig11a, run_fig11b
 from .fig12 import run_fig12b
+from .fig_vci import run_fig_vci
 
 __all__ = ["EXPERIMENTS", "EXPERIMENT_TITLES", "ExperimentRunner", "run_experiment"]
 
@@ -48,6 +49,7 @@ EXPERIMENT_TITLES: Dict[str, str] = {
     "fig11a": "stencil strong scaling: gains for small problems",
     "fig11b": "stencil execution breakdown",
     "fig12b": "mini-SWAP assembly: ~2x from fairness, no app change",
+    "fig_vci": "per-VCI arbitration domains vs global-CS locks (beyond the paper)",
 }
 
 EXPERIMENTS: Dict[str, ExperimentRunner] = {
@@ -68,6 +70,7 @@ EXPERIMENTS: Dict[str, ExperimentRunner] = {
     "fig11a": run_fig11a,
     "fig11b": run_fig11b,
     "fig12b": run_fig12b,
+    "fig_vci": run_fig_vci,
 }
 
 

@@ -21,6 +21,7 @@ implementations:
 from .base import LockError, NullLock, Priority, SimLock
 from .clh import CLHLock
 from .cohort import CohortTicketLock
+from .domain import ArbitrationDomain, DomainStats, aggregate_domain_stats
 from .mcs import MCSLock
 from .mutex import AdaptiveMutexModel, PthreadMutexModel
 from .priority import PriorityTicketLock, SocketAwareLock
@@ -72,4 +73,7 @@ __all__ = [
     "CohortTicketLock",
     "LOCK_CLASSES",
     "make_lock",
+    "ArbitrationDomain",
+    "DomainStats",
+    "aggregate_domain_stats",
 ]

@@ -54,7 +54,7 @@ class CLHLock(SimLock):
             ev, wctx = self._queue.popleft()
             # Successor spins on the releaser's node: the hand-off store
             # travels releaser -> successor.
-            self.sim.call_at(self._handoff_cost(ctx.core, wctx.core), ev.succeed)
+            self.sim.call_after(self._handoff_cost(ctx.core, wctx.core), ev.succeed)
         else:
             self._tail_occupied = False
         return 0.0

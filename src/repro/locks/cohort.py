@@ -98,5 +98,5 @@ class CohortTicketLock(SimLock):
             self._local_streak = 0
             return 0.0
         _seq, ev, wctx = nxt
-        self.sim.call_at(self._handoff_cost(ctx.core, wctx.core), ev.succeed)
+        self.sim.call_after(self._handoff_cost(ctx.core, wctx.core), ev.succeed)
         return 0.0

@@ -54,7 +54,7 @@ class MCSLock(SimLock):
             ev, wctx = self._queue.popleft()
             # Store to the successor's locally-spun flag: one line
             # transfer from releaser to successor.
-            self.sim.call_at(self._handoff_cost(ctx.core, wctx.core), ev.succeed)
+            self.sim.call_after(self._handoff_cost(ctx.core, wctx.core), ev.succeed)
         else:
             # CAS tail back to nil.
             self._tail_occupied = False

@@ -129,5 +129,5 @@ class SocketAwareLock(SimLock):
         pool = same if same else list(self._waiting.values())
         seq, ev, wctx = min(pool, key=lambda rec: rec[0])
         del self._waiting[wctx.tid]
-        self.sim.call_at(self._handoff_cost(ctx.core, wctx.core), ev.succeed)
+        self.sim.call_after(self._handoff_cost(ctx.core, wctx.core), ev.succeed)
         return 0.0

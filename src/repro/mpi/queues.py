@@ -12,7 +12,7 @@ examined (paper 7 notes runtime overheads grow with queued requests).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, Optional, Tuple
 
 from .envelope import Envelope, matches
@@ -40,14 +40,31 @@ class PostedQueue:
 
     def match(self, incoming: Envelope) -> Tuple[Optional[Request], int]:
         """First posted receive matching ``incoming``; returns
-        ``(request_or_None, elements_scanned)``."""
+        ``(request_or_None, elements_scanned)``.
+
+        Entries already *claimed* by a match in another arbitration
+        domain (wildcard receives are posted to every domain; the first
+        match wins) are skipped -- they are dead weight awaiting lazy
+        removal by :meth:`discard`.
+        """
         for i, req in enumerate(self._q):
+            if req.claimed:
+                continue
             if matches(req.envelope, incoming):
                 del self._q[i]
                 self.total_scanned += i + 1
                 return req, i + 1
         self.total_scanned += len(self._q)
         return None, len(self._q)
+
+    def discard(self, req: Request) -> bool:
+        """Remove a stale posting (claimed or freed elsewhere); returns
+        True if the request was present."""
+        try:
+            self._q.remove(req)
+            return True
+        except ValueError:
+            return False
 
 
 @dataclass
@@ -60,6 +77,9 @@ class UnexpectedMsg:
     rndv: bool = False
     #: For rendezvous entries: the sender's request id to CTS back to.
     sender_req_id: Optional[int] = None
+    #: For rendezvous entries: the sender-side arbitration-domain index
+    #: the CTS must be stamped with.
+    sender_vci: int = 0
     data: Any = None
     arrival_time: float = 0.0
 

@@ -55,6 +55,7 @@ class Request:
         "req_id", "kind", "rank", "owner_tid", "envelope", "nbytes",
         "state", "protocol", "unexpected", "data",
         "t_issued", "t_completed", "t_freed", "peer",
+        "vci", "vcis", "claimed",
     )
 
     def __init__(
@@ -86,6 +87,17 @@ class Request:
         self.t_completed: Optional[float] = None
         self.t_freed: Optional[float] = None
         self.peer = peer
+        #: Primary arbitration-domain index (updated to the matching
+        #: domain when a spanning wildcard receive is claimed).
+        self.vci = 0
+        #: All domain indices this request may live in: length 1 for
+        #: routed operations; every domain for spanning wildcards.
+        self.vcis = (0,)
+        #: Set the instant a match decision is made.  Wildcard receives
+        #: are posted to *every* domain; claiming atomically (between
+        #: simulator yields) prevents a second domain matching the same
+        #: request.
+        self.claimed = False
 
     # ------------------------------------------------------------------
     @property
@@ -102,6 +114,10 @@ class Request:
 
     # ------------------------------------------------------------------
     def mark_posted(self) -> None:
+        # Idempotent for POSTED: a spanning wildcard receive is posted
+        # to every arbitration domain.
+        if self.state is ReqState.POSTED:
+            return
         if self.state is not ReqState.ISSUED:
             raise RequestError(f"cannot post request in state {self.state}")
         self.state = ReqState.POSTED

@@ -29,13 +29,17 @@ __all__ = ["RmaPayload", "RmaWindow", "allocate_windows"]
 class RmaPayload:
     """Payload for all RMA packet kinds."""
 
-    __slots__ = ("win_id", "origin_rank", "origin_req_id", "nbytes")
+    __slots__ = ("win_id", "origin_rank", "origin_req_id", "nbytes", "origin_vci")
 
-    def __init__(self, win_id: int, origin_rank: int, origin_req_id: int, nbytes: int):
+    def __init__(self, win_id: int, origin_rank: int, origin_req_id: int,
+                 nbytes: int, origin_vci: int = 0):
         self.win_id = win_id
         self.origin_rank = origin_rank
         self.origin_req_id = origin_req_id
         self.nbytes = nbytes
+        #: The origin's arbitration-domain index: acks and get replies
+        #: must route back to the domain tracking ``origin_req_id``.
+        self.origin_vci = origin_vci
 
 
 class RmaWindow:
@@ -72,25 +76,35 @@ class RmaWindow:
         ctx = th.ctx
         if target == rt.rank:
             raise ValueError("self-targeted RMA not modeled")
+        # Window traffic routes like pt2pt with the window's synthetic
+        # communicator id; both sides hash the *origin* rank so the
+        # origin's bookkeeping and the target's service for one pairing
+        # land in one domain on each rank.
+        comm_id = -(self.win_id + 1)
+        dom = rt.domains[rt.policy.route(target, 0, comm_id)]
         yield rt.sim.timeout(rt.costs.request_alloc * (0.5 + rt._rng.random()))
-        yield from rt._cs_acquire(ctx, Priority.HIGH)
-        yield rt._cs_time(rt.costs.cs_main)
+        yield from rt._cs_acquire(dom, ctx, Priority.HIGH)
+        yield rt._cs_time(dom, rt.costs.cs_main)
         req = Request(
             ReqKind.RMA, rt.rank, ctx.tid,
-            Envelope(source=rt.rank, tag=0, comm=-(self.win_id + 1)),
+            Envelope(source=rt.rank, tag=0, comm=comm_id),
             nbytes, rt.sim.now, peer=target,
         )
+        req.vci = dom.index
+        req.vcis = (dom.index,)
         rt.requests[req.req_id] = req
         req.mark_pending()
-        payload = RmaPayload(self.win_id, rt.rank, req.req_id, nbytes)
+        payload = RmaPayload(self.win_id, rt.rank, req.req_id, nbytes,
+                             origin_vci=dom.index)
         if kind in (PacketKind.RMA_PUT, PacketKind.RMA_ACC):
             # Origin copies the data out (pack + inject).
-            yield rt._cs_time(rt.costs.copy_time(nbytes))
+            yield rt._cs_time(dom, rt.costs.copy_time(nbytes))
             wire = nbytes
         else:
             wire = 0
-        rt.fabric.send(Packet(kind, rt.rank, target, wire, payload))
-        yield from rt._cs_release(ctx)
+        rt.fabric.send(Packet(kind, rt.rank, target, wire, payload,
+                              vci=rt.policy.route(rt.rank, 0, comm_id)))
+        yield from rt._cs_release(dom, ctx)
         # Wait for remote completion in the progress loop.
         yield from rt.waitall(ctx, (req,))
 
@@ -98,33 +112,34 @@ class RmaWindow:
     # Target/origin-side packet handling (called by the progress engine,
     # holding the CS)
     # ------------------------------------------------------------------
-    def handle_packet(self, ctx, pkt: Packet):
+    def handle_packet(self, dom, ctx, pkt: Packet):
         rt = self.runtime
         payload: RmaPayload = pkt.payload
         kind = pkt.kind
         if kind is PacketKind.RMA_PUT:
             self.puts_served += 1
-            yield rt._cs_time(rt.costs.copy_time(payload.nbytes))
+            yield rt._cs_time(dom, rt.costs.copy_time(payload.nbytes))
             self._ack(payload)
         elif kind is PacketKind.RMA_ACC:
             self.accs_served += 1
             yield rt._cs_time(
+                dom,
                 rt.costs.copy_time(payload.nbytes)
-                + payload.nbytes * rt.costs.rma_acc_ns_per_byte * 1e-9
+                + payload.nbytes * rt.costs.rma_acc_ns_per_byte * 1e-9,
             )
             self._ack(payload)
         elif kind is PacketKind.RMA_GET:
             self.gets_served += 1
-            yield rt._cs_time(rt.costs.copy_time(payload.nbytes))
+            yield rt._cs_time(dom, rt.costs.copy_time(payload.nbytes))
             rt.fabric.send(
                 Packet(
                     PacketKind.RMA_GET_REPLY, rt.rank, payload.origin_rank,
-                    payload.nbytes, payload,
+                    payload.nbytes, payload, vci=payload.origin_vci,
                 )
             )
         elif kind is PacketKind.RMA_GET_REPLY:
             # Back at the origin: land the data, complete the op.
-            yield rt._cs_time(rt.costs.copy_time(payload.nbytes))
+            yield rt._cs_time(dom, rt.costs.copy_time(payload.nbytes))
             rt._complete(rt.requests[payload.origin_req_id])
         elif kind is PacketKind.RMA_ACK:
             rt._complete(rt.requests[payload.origin_req_id])
@@ -135,7 +150,7 @@ class RmaWindow:
         self.runtime.fabric.send(
             Packet(
                 PacketKind.RMA_ACK, self.runtime.rank, payload.origin_rank,
-                0, payload,
+                0, payload, vci=payload.origin_vci,
             )
         )
 

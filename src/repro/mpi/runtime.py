@@ -2,38 +2,51 @@
 
 Every MPI call follows the structure of paper Fig. 6a:
 
-* **main path** -- per-call bookkeeping under the *global critical
-  section*: allocate a request, search/update the matching queues, hand
-  data to the NIC.  Entered at HIGH lock priority.
+* **main path** -- per-call bookkeeping under a *critical section*:
+  allocate a request, search/update the matching queues, hand data to
+  the NIC.  Entered at HIGH lock priority.
 * **progress loop** -- calls that must wait (``MPI_Wait*``) repeatedly
   poll the progress engine under the critical section, releasing and
   re-acquiring it between iterations (MPICH's ``CS_YIELD``).  Re-entered
   at LOW lock priority -- the hook the paper's priority lock exploits.
 
-The progress engine drains the rank's NIC receive queue: eager messages
-match the posted queue (or land in the unexpected queue), rendezvous
-control messages advance the RTS/CTS handshake, and RMA packets are
-delegated to the window handler (:mod:`repro.mpi.rma`).
+The critical section is sharded into **arbitration domains**
+(:class:`~repro.locks.domain.ArbitrationDomain`): each domain owns a
+lock, the posted/unexpected matching queues it protects, and one per-VCI
+NIC receive queue.  A :class:`~repro.mpi.vci.CsPolicy` routes every
+operation to a domain; the default ``global`` policy keeps one domain
+and reproduces the paper's single global critical section bit-for-bit
+(pinned by ``tests/mpi/test_domain_regression.py``).  Blocking calls
+poll only the domains their pending requests live in, rotating between
+them across ``CS_YIELD`` gaps.
+
+The progress engine drains a domain's NIC receive queue: eager messages
+match the domain's posted queue (or land in its unexpected queue),
+rendezvous control messages advance the RTS/CTS handshake, and RMA
+packets are delegated to the window handler (:mod:`repro.mpi.rma`).
 
 Any thread can complete any request inside the progress engine, but only
 the owner frees it in its own ``MPI_Wait``/``MPI_Test`` -- which is what
 makes the *dangling request* count (completed, not freed) a faithful
-starvation metric (paper 4.4).
+starvation metric (paper 4.4).  Dangling counts are kept per domain and
+summed at the rank level.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..locks.base import Priority, SimLock
+from ..locks.domain import ArbitrationDomain
 from ..machine.costs import CostModel
 from ..machine.threads import ThreadCtx
 from ..network.fabric import Fabric, RankNic
 from ..network.message import Packet, PacketKind
 from ..sim.sync import Signal
 from .envelope import ANY_SOURCE, ANY_TAG, Envelope
-from .queues import PostedQueue, UnexpectedMsg, UnexpectedQueue
+from .queues import UnexpectedMsg
 from .request import Protocol, ReqKind, Request
+from .vci import GLOBAL_POLICY, CsGranularity, CsPolicy
 
 __all__ = ["MpiRuntime", "MpiThread", "RuntimeStats"]
 
@@ -49,16 +62,24 @@ class _EagerInfo:
 
 
 class _RndvInfo:
-    __slots__ = ("envelope", "nbytes", "req_id")
+    __slots__ = ("envelope", "nbytes", "req_id", "vci")
 
-    def __init__(self, envelope, nbytes, req_id):
+    def __init__(self, envelope, nbytes, req_id, vci=0):
         self.envelope = envelope
         self.nbytes = nbytes
         self.req_id = req_id
+        #: The *sender's* domain index: the CTS must come back to it.
+        self.vci = vci
 
 
 class RuntimeStats:
-    """Counters exposed for the analysis modules."""
+    """Rank-level counters exposed for the analysis modules.
+
+    These aggregate over all arbitration domains; the per-domain
+    breakdown lives in each domain's
+    :class:`~repro.locks.domain.DomainStats`
+    (``MpiRuntime.domain_stats()``).
+    """
 
     __slots__ = (
         "sends_issued", "recvs_issued", "completed", "freed",
@@ -76,7 +97,7 @@ class RuntimeStats:
 
 
 class MpiRuntime:
-    """One MPI process (rank) and its global critical section."""
+    """One MPI process (rank) and its sharded critical section."""
 
     def __init__(
         self,
@@ -89,34 +110,52 @@ class MpiRuntime:
         eager_threshold: int = 16384,
         inline_threshold: int = 128,
         event_driven_wait: bool = False,
-        cs_granularity: str = "global",
+        cs_granularity: "str | CsGranularity" = "global",
+        policy: Optional[CsPolicy] = None,
+        domain_locks: Optional[Sequence[SimLock]] = None,
     ):
         self.sim = sim
         self.rank = rank
         self.fabric = fabric
         self.nic = nic
-        self.lock = lock
         self.costs = costs
         self.eager_threshold = int(eager_threshold)
         self.inline_threshold = int(inline_threshold)
-        if cs_granularity not in ("global", "brief"):
-            raise ValueError(
-                f"cs_granularity must be 'global' or 'brief', got {cs_granularity!r}"
-            )
         #: Critical-section granularity (paper Fig. 1 / 7): "global"
         #: holds the CS across payload copies; "brief" releases it around
         #: them, shortening holds at the cost of extra lock transitions.
         #: Orthogonal to the arbitration method, as the paper argues.
-        self.cs_granularity = cs_granularity
-
-        self.posted_q = PostedQueue()
-        self.unexp_q = UnexpectedQueue()
+        self.cs_granularity = CsGranularity.parse(cs_granularity)
+        #: Domain mapping policy; the default single global domain is
+        #: the paper's model.
+        self.policy = policy if policy is not None else GLOBAL_POLICY
+        locks: List[SimLock] = (
+            list(domain_locks) if domain_locks is not None else [lock]
+        )
+        if len(locks) != self.policy.n_domains:
+            raise ValueError(
+                f"policy {self.policy} needs {self.policy.n_domains} domain "
+                f"lock(s), got {len(locks)}"
+            )
+        if nic.n_vcis < self.policy.n_domains:
+            raise ValueError(
+                f"NIC has {nic.n_vcis} VCI queue(s) but policy "
+                f"{self.policy} needs {self.policy.n_domains}"
+            )
+        #: The arbitration domains, index-aligned with the NIC's VCIs.
+        self.domains: List[ArbitrationDomain] = [
+            ArbitrationDomain(i, lk, recv_q=nic.recv_qs[i])
+            for i, lk in enumerate(locks)
+        ]
         #: Live requests by id (freed requests are dropped).
         self.requests: Dict[int, Request] = {}
         #: Sends awaiting CTS: req_id -> (request, data payload).
         self._pending_sends: Dict[int, Tuple[Request, Any]] = {}
-        #: Completed-but-not-freed count (the paper's dangling metric).
+        #: Completed-but-not-freed count, summed over domains (the
+        #: paper's dangling metric).
         self.dangling_count = 0
+        #: High-water mark of ``dangling_count`` (starvation severity).
+        self.peak_dangling = 0
         self.stats = RuntimeStats()
         self._rng = sim.rng.stream(f"runtime:{rank}")
         #: Paper 9 future work: park blocked waiters on an
@@ -131,90 +170,164 @@ class MpiRuntime:
         self.coll_seq: Dict[int, int] = {}
         #: RMA windows by id (populated by repro.mpi.rma).
         self.windows: Dict[int, object] = {}
-        #: Name of the currently-open critical-section span ("cs.main"
-        #: or "cs.progress").  Safe as a single slot: the CS is mutually
-        #: exclusive, so at most one holder span is open per runtime.
-        self._cs_span: Optional[str] = None
 
     # ==================================================================
-    # Critical section
+    # Single-domain compatibility views
     # ==================================================================
-    def _cs_acquire(self, ctx: ThreadCtx, priority: Priority):
+    @property
+    def lock(self) -> SimLock:
+        """Domain 0's lock: *the* lock for the global policy."""
+        return self.domains[0].lock
+
+    @property
+    def posted_q(self):
+        """Domain 0's posted queue (the whole rank under ``global``)."""
+        return self.domains[0].posted_q
+
+    @property
+    def unexp_q(self):
+        """Domain 0's unexpected queue (the whole rank under ``global``)."""
+        return self.domains[0].unexp_q
+
+    @property
+    def n_domains(self) -> int:
+        return len(self.domains)
+
+    def domain_stats(self) -> List[dict]:
+        """Per-domain counter snapshots, index-aligned with ``domains``."""
+        return [d.stats.as_dict() for d in self.domains]
+
+    # ==================================================================
+    # Routing
+    # ==================================================================
+    def _send_domain(self, dest: int, tag: int, comm: int) -> ArbitrationDomain:
+        return self.domains[self.policy.route(dest, tag, comm)]
+
+    def _req_domains(self, reqs: Sequence[Request]) -> List[ArbitrationDomain]:
+        """Ordered unique domains the given requests live in."""
+        seen: List[int] = []
+        for r in reqs:
+            for i in r.vcis:
+                if i not in seen:
+                    seen.append(i)
+        if not seen:
+            seen.append(0)
+        return [self.domains[i] for i in seen]
+
+    # ==================================================================
+    # Critical section (all per-domain)
+    # ==================================================================
+    def _cs_acquire(self, dom: ArbitrationDomain, ctx: ThreadCtx, priority: Priority):
         if priority == Priority.HIGH:
             self.stats.cs_entries_main += 1
+            dom.stats.cs_entries_main += 1
         else:
             self.stats.cs_entries_progress += 1
-        yield from self.lock.acquire(ctx, priority=priority)
+            dom.stats.cs_entries_progress += 1
+        yield from dom.lock.acquire(ctx, priority=priority)
         obs = self.sim.obs
         if obs is not None and obs.wants("mpi"):
             # Occupancy span, named by entry path (paper Fig. 6a): the
             # main path enters HIGH, the progress loop re-enters LOW.
             name = "cs.main" if priority == Priority.HIGH else "cs.progress"
-            self._cs_span = name
-            obs.span_begin("mpi", name, rank=self.rank, tid=ctx.tid)
+            dom._cs_span = name
+            if len(self.domains) == 1:
+                obs.span_begin("mpi", name, rank=self.rank, tid=ctx.tid)
+            else:
+                obs.span_begin("mpi", name, rank=self.rank, tid=ctx.tid,
+                               args={"vci": dom.index})
 
-    def _cs_release(self, ctx: ThreadCtx):
+    def _cs_release(self, dom: ArbitrationDomain, ctx: ThreadCtx):
         """Generator: releases the CS and charges the releaser-side cost
         (a contended mutex unlock pays the FUTEX_WAKE syscall)."""
         obs = self.sim.obs
-        if obs is not None and self._cs_span is not None:
-            obs.span_end("mpi", self._cs_span, rank=self.rank, tid=ctx.tid)
-            self._cs_span = None
-        cost = self.lock.release(ctx)
+        if obs is not None and dom._cs_span is not None:
+            obs.span_end("mpi", dom._cs_span, rank=self.rank, tid=ctx.tid)
+            dom._cs_span = None
+        cost = dom.lock.release(ctx)
         if cost > 0.0:
             yield self.sim.timeout(cost)
 
-    def _cs_time(self, seconds: float):
-        """A timeout for in-CS work, inflated by contention: waiting
-        threads' retries/spinning bounce the runtime's shared cache
-        lines and slow the critical path (David et al., SOSP'13)."""
-        return self.sim.timeout(seconds * self.lock.contention_factor())
+    def _cs_time(self, dom: ArbitrationDomain, seconds: float):
+        """A timeout for in-CS work, inflated by contention *on this
+        domain's lock*: waiting threads' retries/spinning bounce the
+        domain's shared cache lines and slow the critical path (David et
+        al., SOSP'13).  Sharding pays off exactly here: fewer waiters
+        per domain, smaller factor."""
+        return self.sim.timeout(seconds * dom.lock.contention_factor())
 
-    def _charge_copy(self, ctx: ThreadCtx, seconds: float, priority: Priority):
+    def _charge_copy(
+        self, dom: ArbitrationDomain, ctx: ThreadCtx, seconds: float,
+        priority: Priority,
+    ):
         """Charge a payload copy.  Under "global" granularity the copy
-        happens while holding the CS; under "brief" the CS is released
-        around it (the copy touches only private buffers), paying two
-        extra lock transitions instead of a long hold."""
+        happens while holding the domain's CS; under "brief" the CS is
+        released around it (the copy touches only private buffers),
+        paying two extra lock transitions instead of a long hold."""
         if seconds <= 0.0:
             return
         if (
-            self.cs_granularity == "brief"
+            self.cs_granularity is CsGranularity.BRIEF
             and seconds * 1e9 >= self.costs.brief_copy_min_ns
         ):
-            yield from self._cs_release(ctx)
+            yield from self._cs_release(dom, ctx)
             yield self.sim.timeout(seconds)
-            yield from self._cs_acquire(ctx, priority)
+            yield from self._cs_acquire(dom, ctx, priority)
         else:
-            yield self._cs_time(seconds)
+            yield self._cs_time(dom, seconds)
 
     # ==================================================================
     # Completion plumbing
     # ==================================================================
     def _complete(self, req: Request) -> None:
         req.mark_complete(self.sim.now)
+        self.domains[req.vci].note_complete()
         self.dangling_count += 1
+        if self.dangling_count > self.peak_dangling:
+            self.peak_dangling = self.dangling_count
         self.stats.completed += 1
         obs = self.sim.obs
         if obs is not None and obs.wants("mpi"):
             obs.counter("mpi", "dangling", self.dangling_count, rank=self.rank)
+            if len(self.domains) > 1:
+                obs.counter("mpi", f"dangling.d{req.vci}",
+                            self.domains[req.vci].stats.dangling,
+                            rank=self.rank)
         if self.event_driven_wait:
             self._activity.fire()
 
     def _free(self, req: Request) -> None:
         req.mark_freed(self.sim.now)
+        self.domains[req.vci].note_free()
         self.dangling_count -= 1
         self.stats.freed += 1
         self.requests.pop(req.req_id, None)
+        if len(req.vcis) > 1:
+            # A spanning wildcard receive was posted to every domain;
+            # the claim removed it from the matching one, the rest are
+            # cleaned up here (match() skips claimed entries meanwhile).
+            for i in req.vcis:
+                self.domains[i].posted_q.discard(req)
         obs = self.sim.obs
         if obs is not None and obs.wants("mpi"):
             obs.counter("mpi", "dangling", self.dangling_count, rank=self.rank)
+            if len(self.domains) > 1:
+                obs.counter("mpi", f"dangling.d{req.vci}",
+                            self.domains[req.vci].stats.dangling,
+                            rank=self.rank)
 
-    def _emit_queue_depths(self) -> None:
+    def _emit_queue_depths(self, dom: ArbitrationDomain) -> None:
         """Sample matching-queue depths (call after any queue mutation)."""
         obs = self.sim.obs
         if obs is not None and obs.wants("mpi"):
-            obs.counter("mpi", "posted_q", len(self.posted_q), rank=self.rank)
-            obs.counter("mpi", "unexp_q", len(self.unexp_q), rank=self.rank)
+            if len(self.domains) == 1:
+                obs.counter("mpi", "posted_q", len(dom.posted_q), rank=self.rank)
+                obs.counter("mpi", "unexp_q", len(dom.unexp_q), rank=self.rank)
+            else:
+                obs.counter("mpi", f"posted_q.d{dom.index}",
+                            len(dom.posted_q), rank=self.rank)
+                obs.counter("mpi", f"unexp_q.d{dom.index}",
+                            len(dom.unexp_q), rank=self.rank)
 
     # ==================================================================
     # Main-path operations (generators; called via MpiThread)
@@ -230,9 +343,10 @@ class MpiRuntime:
     ):
         """Nonblocking send.  Returns the Request."""
         env = Envelope(source=self.rank, tag=tag, comm=comm)
+        dom = self._send_domain(dest, tag, comm)
         yield self.sim.timeout(self.costs.request_alloc * (0.5 + self._rng.random()))
-        yield from self._cs_acquire(ctx, Priority.HIGH)
-        yield self._cs_time(self.costs.cs_main)
+        yield from self._cs_acquire(dom, ctx, Priority.HIGH)
+        yield self._cs_time(dom, self.costs.cs_main)
         if nbytes <= self.eager_threshold:
             protocol = (
                 Protocol.INLINE if nbytes <= self.inline_threshold else Protocol.EAGER
@@ -243,6 +357,8 @@ class MpiRuntime:
             ReqKind.SEND, self.rank, ctx.tid, env, nbytes, self.sim.now,
             protocol=protocol, peer=dest,
         )
+        req.vci = dom.index
+        req.vcis = (dom.index,)
         self.requests[req.req_id] = req
         self.stats.sends_issued += 1
 
@@ -251,23 +367,25 @@ class MpiRuntime:
             self._pending_sends[req.req_id] = (req, data)
             pkt = Packet(
                 PacketKind.RTS, self.rank, dest, 0,
-                payload=_RndvInfo(env, nbytes, req.req_id),
+                payload=_RndvInfo(env, nbytes, req.req_id, dom.index),
+                vci=self.policy.route_msg(env),
             )
             self.fabric.send(pkt)
         else:
             if protocol is Protocol.EAGER:
                 # Copy into the NIC's eager buffer.
                 yield from self._charge_copy(
-                    ctx, self.costs.copy_time(nbytes), Priority.HIGH
+                    dom, ctx, self.costs.copy_time(nbytes), Priority.HIGH
                 )
             req.mark_pending()
             pkt = Packet(
                 PacketKind.EAGER, self.rank, dest, nbytes,
                 payload=_EagerInfo(env, nbytes, req.req_id, data),
+                vci=self.policy.route_msg(env),
             )
             local_done = self.fabric.send(pkt)
             local_done.add_callback(lambda _ev, r=req: self._complete(r))
-        yield from self._cs_release(ctx)
+        yield from self._cs_release(dom, ctx)
         return req
 
     def irecv(
@@ -279,51 +397,117 @@ class MpiRuntime:
         comm: int = 0,
     ):
         """Nonblocking receive.  ``nbytes`` is the buffer size (modeling
-        only; the matched message's size is used for copy costs)."""
-        env = Envelope(source=source, tag=tag, comm=comm)
-        yield self.sim.timeout(self.costs.request_alloc * (0.5 + self._rng.random()))
-        yield from self._cs_acquire(ctx, Priority.HIGH)
-        yield self._cs_time(self.costs.cs_main)
-        req = Request(
-            ReqKind.RECV, self.rank, ctx.tid, env, nbytes, self.sim.now,
-            peer=source,
-        )
-        self.requests[req.req_id] = req
-        self.stats.recvs_issued += 1
+        only; the matched message's size is used for copy costs).
 
-        msg, scanned = self.unexp_q.match(env)
-        yield self._cs_time(self.costs.queue_scan * scanned)
-        if msg is None:
-            self.posted_q.post(req)
-        elif msg.rndv:
-            # Rendezvous sender is waiting for clearance.
-            req.unexpected = True
-            req.mark_pending()
-            self._send_cts(msg.src_rank, msg.sender_req_id, req.req_id)
-        else:
-            # Eager payload parked in the unexpected buffer: extra copy.
-            req.unexpected = True
-            yield from self._charge_copy(
-                ctx, self.costs.copy_time(msg.nbytes, unexpected=True),
-                Priority.HIGH,
+        A receive with a wildcard in a field the policy hashes on cannot
+        be routed to one domain; it *spans* all of them: each domain's
+        unexpected queue is searched under that domain's lock, posting
+        into the domain on a miss so no concurrent arrival is lost, and
+        the first match claims the request (the stale postings are
+        skipped by ``match()`` and discarded at free time).
+        """
+        env = Envelope(source=source, tag=tag, comm=comm)
+        route = self.policy.route_recv(env)
+        yield self.sim.timeout(self.costs.request_alloc * (0.5 + self._rng.random()))
+        if route is not None:
+            dom = self.domains[route]
+            yield from self._cs_acquire(dom, ctx, Priority.HIGH)
+            yield self._cs_time(dom, self.costs.cs_main)
+            req = Request(
+                ReqKind.RECV, self.rank, ctx.tid, env, nbytes, self.sim.now,
+                peer=source,
             )
-            req.data = msg.data
-            self._complete(req)
-        self._emit_queue_depths()
-        yield from self._cs_release(ctx)
+            req.vci = dom.index
+            req.vcis = (dom.index,)
+            self.requests[req.req_id] = req
+            self.stats.recvs_issued += 1
+
+            msg, scanned = dom.unexp_q.match(env)
+            yield self._cs_time(dom, self.costs.queue_scan * scanned)
+            if msg is None:
+                dom.posted_q.post(req)
+            elif msg.rndv:
+                # Rendezvous sender is waiting for clearance.
+                req.unexpected = True
+                req.mark_pending()
+                self._send_cts(msg.src_rank, msg.sender_req_id, req,
+                               msg.sender_vci)
+            else:
+                # Eager payload parked in the unexpected buffer: extra copy.
+                req.unexpected = True
+                yield from self._charge_copy(
+                    dom, ctx, self.costs.copy_time(msg.nbytes, unexpected=True),
+                    Priority.HIGH,
+                )
+                req.data = msg.data
+                self._complete(req)
+            self._emit_queue_depths(dom)
+            yield from self._cs_release(dom, ctx)
+            return req
+
+        # Spanning wildcard: visit every domain in index order.
+        req = None
+        for i, dom in enumerate(self.domains):
+            yield from self._cs_acquire(dom, ctx, Priority.HIGH)
+            if i == 0:
+                yield self._cs_time(dom, self.costs.cs_main)
+                req = Request(
+                    ReqKind.RECV, self.rank, ctx.tid, env, nbytes,
+                    self.sim.now, peer=source,
+                )
+                req.vci = 0
+                req.vcis = tuple(range(len(self.domains)))
+                self.requests[req.req_id] = req
+                self.stats.recvs_issued += 1
+            if req.claimed or req.complete:
+                # A packet matched an earlier posting while we walked on.
+                yield from self._cs_release(dom, ctx)
+                break
+            msg, scanned = dom.unexp_q.match(env)
+            yield self._cs_time(dom, self.costs.queue_scan * scanned)
+            if msg is None:
+                # Post before moving to the next domain so an arrival
+                # here is matched, not parked unexpectedly forever.
+                dom.posted_q.post(req)
+                self._emit_queue_depths(dom)
+                yield from self._cs_release(dom, ctx)
+                continue
+            # First unexpected match claims the request for this domain.
+            req.claimed = True
+            req.vci = dom.index
+            req.unexpected = True
+            if msg.rndv:
+                req.mark_pending()
+                self._send_cts(msg.src_rank, msg.sender_req_id, req,
+                               msg.sender_vci)
+            else:
+                yield from self._charge_copy(
+                    dom, ctx, self.costs.copy_time(msg.nbytes, unexpected=True),
+                    Priority.HIGH,
+                )
+                req.data = msg.data
+                self._complete(req)
+            self._emit_queue_depths(dom)
+            yield from self._cs_release(dom, ctx)
+            break
         return req
 
     def test(self, ctx: ThreadCtx, req: Request):
         """MPI_Test: one progress poke; frees the request on success.
         Returns True when the request completed."""
-        yield from self._cs_acquire(ctx, Priority.HIGH)
-        yield self._cs_time(self.costs.cs_main)
-        if not req.complete:
-            yield from self._progress_poll(ctx)
-        done = req.complete
-        if done and not req.freed:
-            self._free(req)
-        yield from self._cs_release(ctx)
+        doms = self._req_domains((req,))
+        done = False
+        for i, dom in enumerate(doms):
+            yield from self._cs_acquire(dom, ctx, Priority.HIGH)
+            if i == 0:
+                yield self._cs_time(dom, self.costs.cs_main)
+            if not req.complete:
+                yield from self._progress_poll(dom, ctx)
+            if i == len(doms) - 1:
+                done = req.complete
+                if done and not req.freed:
+                    self._free(req)
+            yield from self._cs_release(dom, ctx)
         return done
 
     def wait(self, ctx: ThreadCtx, req: Request):
@@ -331,20 +515,26 @@ class MpiRuntime:
         return (yield from self.waitall(ctx, (req,)))
 
     def waitall(self, ctx: ThreadCtx, reqs: Iterable[Request]):
-        """MPI_Waitall over ``reqs``; frees them all."""
+        """MPI_Waitall over ``reqs``; frees them all.
+
+        Polls only the domains the pending requests live in, rotating to
+        the next one across each CS_YIELD gap (a thread never holds two
+        domain locks at once)."""
         reqs = tuple(reqs)
-        yield from self._cs_acquire(ctx, Priority.HIGH)
-        yield self._cs_time(self.costs.cs_main)
+        doms = self._req_domains(reqs)
+        cur = 0
+        yield from self._cs_acquire(doms[cur], ctx, Priority.HIGH)
+        yield self._cs_time(doms[cur], self.costs.cs_main)
         while not all(r.complete for r in reqs):
-            yield from self._progress_poll(ctx)
+            yield from self._progress_poll(doms[cur], ctx)
             if all(r.complete for r in reqs):
                 break
             # CS_YIELD: let other threads at the runtime, come back at
             # progress-loop (LOW) priority.  The gap is jittered: real
             # yields have scheduling noise, and a deterministic gap
             # produces artificial lockstep alternation between threads.
-            yield from self._cs_release(ctx)
-            if self.event_driven_wait and not self.nic.recv_q:
+            yield from self._cs_release(doms[cur], ctx)
+            if self.event_driven_wait and not any(d.recv_q for d in doms):
                 # Nothing to progress: park until a packet arrives or a
                 # request completes (no sim time passes between this
                 # check and the wait, so no wake-up can be missed).
@@ -353,70 +543,84 @@ class MpiRuntime:
             else:
                 gap = self.costs.progress_gap * (0.5 + self._rng.random())
                 yield self.sim.timeout(gap)
-            yield from self._cs_acquire(ctx, Priority.LOW)
+            cur = (cur + 1) % len(doms)
+            yield from self._cs_acquire(doms[cur], ctx, Priority.LOW)
         for r in reqs:
             if not r.freed:
                 self._free(r)
-        yield from self._cs_release(ctx)
+        yield from self._cs_release(doms[cur], ctx)
         return [r.data for r in reqs]
 
     def testall(self, ctx: ThreadCtx, reqs):
-        """MPI_Testall: one progress poke; frees all and returns True only
-        when every request has completed."""
+        """MPI_Testall: one progress poke per involved domain; frees all
+        and returns True only when every request has completed."""
         reqs = tuple(reqs)
-        yield from self._cs_acquire(ctx, Priority.HIGH)
-        yield self._cs_time(self.costs.cs_main)
-        if not all(r.complete for r in reqs):
-            yield from self._progress_poll(ctx)
-        done = all(r.complete for r in reqs)
-        if done:
-            for r in reqs:
-                if not r.freed:
-                    self._free(r)
-        yield from self._cs_release(ctx)
+        doms = self._req_domains(reqs)
+        done = False
+        for i, dom in enumerate(doms):
+            yield from self._cs_acquire(dom, ctx, Priority.HIGH)
+            if i == 0:
+                yield self._cs_time(dom, self.costs.cs_main)
+            if not all(r.complete for r in reqs):
+                yield from self._progress_poll(dom, ctx)
+            if i == len(doms) - 1:
+                done = all(r.complete for r in reqs)
+                if done:
+                    for r in reqs:
+                        if not r.freed:
+                            self._free(r)
+            yield from self._cs_release(dom, ctx)
         return done
 
     def testany(self, ctx: ThreadCtx, reqs):
-        """MPI_Testany: one progress poke; frees and returns the index of
-        the first completed request, or None."""
+        """MPI_Testany: one progress poke per involved domain; frees and
+        returns the index of the first completed request, or None."""
         reqs = tuple(reqs)
-        yield from self._cs_acquire(ctx, Priority.HIGH)
-        yield self._cs_time(self.costs.cs_main)
-        if not any(r.complete for r in reqs):
-            yield from self._progress_poll(ctx)
-        idx = next((i for i, r in enumerate(reqs) if r.complete), None)
-        if idx is not None and not reqs[idx].freed:
-            self._free(reqs[idx])
-        yield from self._cs_release(ctx)
+        doms = self._req_domains(reqs)
+        idx = None
+        for i, dom in enumerate(doms):
+            yield from self._cs_acquire(dom, ctx, Priority.HIGH)
+            if i == 0:
+                yield self._cs_time(dom, self.costs.cs_main)
+            if not any(r.complete for r in reqs):
+                yield from self._progress_poll(dom, ctx)
+            if i == len(doms) - 1:
+                idx = next((j for j, r in enumerate(reqs) if r.complete), None)
+                if idx is not None and not reqs[idx].freed:
+                    self._free(reqs[idx])
+            yield from self._cs_release(dom, ctx)
         return idx
 
     def waitany(self, ctx: ThreadCtx, reqs):
         """MPI_Waitany: block until one request completes; frees it and
         returns its index."""
         reqs = tuple(reqs)
-        yield from self._cs_acquire(ctx, Priority.HIGH)
-        yield self._cs_time(self.costs.cs_main)
+        doms = self._req_domains(reqs)
+        cur = 0
+        yield from self._cs_acquire(doms[cur], ctx, Priority.HIGH)
+        yield self._cs_time(doms[cur], self.costs.cs_main)
         while not any(r.complete for r in reqs):
-            yield from self._progress_poll(ctx)
+            yield from self._progress_poll(doms[cur], ctx)
             if any(r.complete for r in reqs):
                 break
-            yield from self._cs_release(ctx)
-            if self.event_driven_wait and not self.nic.recv_q:
+            yield from self._cs_release(doms[cur], ctx)
+            if self.event_driven_wait and not any(d.recv_q for d in doms):
                 yield self._activity.wait()
                 yield self.sim.timeout(self.costs.event_wakeup)
             else:
                 gap = self.costs.progress_gap * (0.5 + self._rng.random())
                 yield self.sim.timeout(gap)
-            yield from self._cs_acquire(ctx, Priority.LOW)
+            cur = (cur + 1) % len(doms)
+            yield from self._cs_acquire(doms[cur], ctx, Priority.LOW)
         idx = next(i for i, r in enumerate(reqs) if r.complete)
         if not reqs[idx].freed:
             self._free(reqs[idx])
-        yield from self._cs_release(ctx)
+        yield from self._cs_release(doms[cur], ctx)
         return idx
 
     def iprobe(self, ctx: ThreadCtx, source=ANY_SOURCE, tag=ANY_TAG, comm=0):
         """MPI_Iprobe: one progress poke, then a non-destructive check of
-        the unexpected queue.  Returns the matched concrete
+        the unexpected queue(s).  Returns the matched concrete
         ``(source, tag, nbytes)`` or None.
 
         As in real MPICH, probing only observes messages the progress
@@ -424,19 +628,25 @@ class MpiRuntime:
         sitting in a matching *posted* receive is not probe-visible.
         """
         env = Envelope(source=source, tag=tag, comm=comm)
-        yield from self._cs_acquire(ctx, Priority.HIGH)
-        yield self._cs_time(self.costs.cs_main)
-        yield from self._progress_poll(ctx)
-        found = None
-        scanned = 0
+        route = self.policy.route_recv(env)
+        doms = self.domains if route is None else (self.domains[route],)
         from .envelope import matches as _matches
-        for msg in self.unexp_q._q:
-            scanned += 1
-            if _matches(env, msg.envelope):
-                found = (msg.envelope.source, msg.envelope.tag, msg.nbytes)
+        found = None
+        for i, dom in enumerate(doms):
+            yield from self._cs_acquire(dom, ctx, Priority.HIGH)
+            if i == 0:
+                yield self._cs_time(dom, self.costs.cs_main)
+            yield from self._progress_poll(dom, ctx)
+            scanned = 0
+            for msg in dom.unexp_q._q:
+                scanned += 1
+                if _matches(env, msg.envelope):
+                    found = (msg.envelope.source, msg.envelope.tag, msg.nbytes)
+                    break
+            yield self._cs_time(dom, self.costs.queue_scan * scanned)
+            yield from self._cs_release(dom, ctx)
+            if found is not None:
                 break
-        yield self._cs_time(self.costs.queue_scan * scanned)
-        yield from self._cs_release(ctx)
         return found
 
     def probe(self, ctx: ThreadCtx, source=ANY_SOURCE, tag=ANY_TAG, comm=0):
@@ -474,28 +684,31 @@ class MpiRuntime:
         return out[0]
 
     def progress_poke(self, ctx: ThreadCtx):
-        """One LOW-priority progress poll (the async progress thread's
-        whole life, paper 6.1.2)."""
-        yield from self._cs_acquire(ctx, Priority.LOW)
-        yield from self._progress_poll(ctx)
-        yield from self._cs_release(ctx)
+        """One LOW-priority progress poll over every domain (the async
+        progress thread's whole life, paper 6.1.2)."""
+        for dom in self.domains:
+            yield from self._cs_acquire(dom, ctx, Priority.LOW)
+            yield from self._progress_poll(dom, ctx)
+            yield from self._cs_release(dom, ctx)
 
     # ==================================================================
-    # Progress engine (must be called holding the CS)
+    # Progress engine (must be called holding the domain's CS)
     # ==================================================================
-    def _progress_poll(self, ctx: ThreadCtx):
-        """Drain the NIC receive queue; returns True if any packet was
-        handled."""
+    def _progress_poll(self, dom: ArbitrationDomain, ctx: ThreadCtx):
+        """Drain the domain's NIC receive queue; returns True if any
+        packet was handled."""
         self.stats.progress_polls += 1
-        q = self.nic.recv_q
+        dom.stats.progress_polls += 1
+        q = dom.recv_q
         if not q:
             self.stats.empty_polls += 1
+            dom.stats.empty_polls += 1
             obs = self.sim.obs
             if obs is not None and obs.wants("mpi"):
                 # The paper's "wasted acquisition": a full CS round-trip
                 # that progressed nothing.
                 obs.instant("mpi", "poll.empty", rank=self.rank, tid=ctx.tid)
-            yield self._cs_time(self.costs.cs_poll_empty)
+            yield self._cs_time(dom, self.costs.cs_poll_empty)
             return False
         # Handle a bounded batch; the rest waits for the next poll (a
         # real progress engine processes a bounded completion batch per
@@ -507,31 +720,36 @@ class MpiRuntime:
             if not q:
                 break
             pkt = q.popleft()
-            yield from self._handle_packet(ctx, pkt)
+            yield from self._handle_packet(dom, ctx, pkt)
         return True
 
-    def _handle_packet(self, ctx: ThreadCtx, pkt: Packet):
+    def _handle_packet(self, dom: ArbitrationDomain, ctx: ThreadCtx, pkt: Packet):
         self.stats.packets_handled += 1
+        dom.stats.packets_handled += 1
         obs = self.sim.obs
         if obs is not None and obs.wants("mpi"):
             obs.counter("mpi", "packets_handled", self.stats.packets_handled,
                         rank=self.rank)
-        yield self._cs_time(self.costs.cs_poll_packet)
+        yield self._cs_time(dom, self.costs.cs_poll_packet)
         kind = pkt.kind
         if kind is PacketKind.EAGER:
             info = pkt.payload
-            req, scanned = self.posted_q.match(info.envelope)
-            yield self._cs_time(self.costs.queue_scan * scanned)
+            req, scanned = dom.posted_q.match(info.envelope)
+            yield self._cs_time(dom, self.costs.queue_scan * scanned)
             if req is not None:
+                req.claimed = True
+                req.vci = dom.index
                 self.stats.posted_hits += 1
+                dom.stats.posted_hits += 1
                 yield from self._charge_copy(
-                    ctx, self.costs.copy_time(info.nbytes), Priority.LOW
+                    dom, ctx, self.costs.copy_time(info.nbytes), Priority.LOW
                 )
                 req.data = info.data
                 self._complete(req)
             else:
                 self.stats.unexpected_hits += 1
-                self.unexp_q.add(
+                dom.stats.unexpected_hits += 1
+                dom.unexp_q.add(
                     UnexpectedMsg(
                         info.envelope, info.nbytes, pkt.src_rank,
                         data=info.data, arrival_time=self.sim.now,
@@ -539,27 +757,31 @@ class MpiRuntime:
                 )
         elif kind is PacketKind.RTS:
             info = pkt.payload
-            req, scanned = self.posted_q.match(info.envelope)
-            yield self._cs_time(self.costs.queue_scan * scanned)
+            req, scanned = dom.posted_q.match(info.envelope)
+            yield self._cs_time(dom, self.costs.queue_scan * scanned)
             if req is not None:
+                req.claimed = True
+                req.vci = dom.index
                 self.stats.posted_hits += 1
+                dom.stats.posted_hits += 1
                 req.mark_pending()
-                self._send_cts(pkt.src_rank, info.req_id, req.req_id)
+                self._send_cts(pkt.src_rank, info.req_id, req, info.vci)
             else:
                 self.stats.unexpected_hits += 1
-                self.unexp_q.add(
+                dom.stats.unexpected_hits += 1
+                dom.unexp_q.add(
                     UnexpectedMsg(
                         info.envelope, info.nbytes, pkt.src_rank,
                         rndv=True, sender_req_id=info.req_id,
-                        arrival_time=self.sim.now,
+                        sender_vci=info.vci, arrival_time=self.sim.now,
                     )
                 )
         elif kind is PacketKind.CTS:
-            sender_req_id, recv_req_id = pkt.payload
+            sender_req_id, recv_req_id, recv_vci = pkt.payload
             req, data = self._pending_sends.pop(sender_req_id)
             data_pkt = Packet(
                 PacketKind.RNDV_DATA, self.rank, pkt.src_rank, req.nbytes,
-                payload=(recv_req_id, data),
+                payload=(recv_req_id, data), vci=recv_vci,
             )
             local_done = self.fabric.send(data_pkt)
             local_done.add_callback(lambda _ev, r=req: self._complete(r))
@@ -574,23 +796,29 @@ class MpiRuntime:
             handler = self.windows.get(getattr(pkt.payload, "win_id", None))
             if handler is None:
                 raise RuntimeError(f"no window registered for {pkt!r}")
-            yield from handler.handle_packet(ctx, pkt)
+            yield from handler.handle_packet(dom, ctx, pkt)
         else:
             raise RuntimeError(f"unhandled packet kind {kind}")
         if kind is PacketKind.EAGER or kind is PacketKind.RTS:
-            self._emit_queue_depths()
+            self._emit_queue_depths(dom)
 
-    def _send_cts(self, dest: int, sender_req_id: int, recv_req_id: int) -> None:
+    def _send_cts(self, dest: int, sender_req_id: int, recv_req: Request,
+                  sender_vci: int = 0) -> None:
+        """Clear a rendezvous sender: the CTS goes back to the *sender's*
+        domain and tells it which receiver domain the data belongs in."""
         pkt = Packet(
             PacketKind.CTS, self.rank, dest, 0,
-            payload=(sender_req_id, recv_req_id),
+            payload=(sender_req_id, recv_req.req_id, recv_req.vci),
+            vci=sender_vci,
         )
         self.fabric.send(pkt)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
-            f"<MpiRuntime rank={self.rank} lock={type(self.lock).__name__} "
-            f"posted={len(self.posted_q)} unexp={len(self.unexp_q)} "
+            f"<MpiRuntime rank={self.rank} policy={self.policy} "
+            f"lock={type(self.lock).__name__} "
+            f"posted={sum(len(d.posted_q) for d in self.domains)} "
+            f"unexp={sum(len(d.unexp_q) for d in self.domains)} "
             f"dangling={self.dangling_count}>"
         )
 

@@ -1,0 +1,203 @@
+"""Virtual communication interfaces: mapping operations to domains.
+
+The paper's remedies (ticket lock, priority lock) all arbitrate a
+*single* global critical section.  Follow-on work (Zambre et al., "How I
+Learned to Stop Worrying About User-Visible Endpoints and Love MPI" /
+"Lessons Learned on MPI+Threads Communication") shows the bigger win is
+*sharding* it: split the runtime into per-VCI domains -- each with its
+own lock, matching queues, and NIC slice -- so threads on disjoint
+communication paths never contend at all.
+
+A :class:`CsPolicy` decides, from an operation's ``(peer, tag, comm)``
+triple, which :class:`~repro.locks.domain.ArbitrationDomain` serves it.
+Both sides of a transfer compute the route independently: the sender
+routes its bookkeeping by ``(dest, tag, comm)`` and stamps the packet
+with the *receiver-side* route of the message envelope, so matching
+state for one message always lives in exactly one domain on each rank.
+
+Wildcard receives (``MPI_ANY_SOURCE`` / ``MPI_ANY_TAG``) cannot be
+routed when the policy hashes the wildcarded field; they *span* every
+domain (posted to all, first match claims -- see
+:meth:`repro.mpi.runtime.MpiRuntime.irecv`).
+
+This module is also the single source of truth for the critical-section
+**granularity** names (``global`` / ``brief``), previously validated by
+ad-hoc string checks duplicated across ``mpi/world.py`` and
+``mpi/runtime.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from .envelope import ANY_SOURCE, ANY_TAG, Envelope
+
+__all__ = [
+    "CsGranularity",
+    "CS_POLICY_KINDS",
+    "CsPolicy",
+    "parse_cs_policy",
+]
+
+
+class CsGranularity(str, enum.Enum):
+    """Critical-section granularity (paper Fig. 1 / 7).
+
+    ``GLOBAL`` holds the CS across payload copies; ``BRIEF`` releases it
+    around them, shortening holds at the cost of extra lock transitions.
+    Orthogonal to both the arbitration method and the domain mapping
+    policy, as the paper argues.
+    """
+
+    GLOBAL = "global"
+    BRIEF = "brief"
+
+    @classmethod
+    def parse(cls, value: "str | CsGranularity") -> "CsGranularity":
+        """Validate a granularity name; the error lists the valid names."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            valid = ", ".join(sorted(g.value for g in cls))
+            raise ValueError(
+                f"unknown cs_granularity {value!r}; valid granularities: {valid}"
+            ) from None
+
+
+#: Mapping-policy kinds accepted by :func:`parse_cs_policy`, with the
+#: per-kind default domain count (``None`` = derived from the cluster:
+#: per-peer defaults to the number of ranks).
+CS_POLICY_KINDS: Dict[str, Optional[int]] = {
+    "global": 1,
+    "per-peer": None,
+    "per-tag": 4,
+    "per-vci": 4,
+}
+
+
+@dataclass(frozen=True)
+class CsPolicy:
+    """A resolved domain-mapping policy.
+
+    Parameters
+    ----------
+    kind:
+        One of ``CS_POLICY_KINDS``.
+    n_domains:
+        Number of arbitration domains per rank (>= 1).
+    lock:
+        Optional lock-class name (see ``repro.locks.LOCK_CLASSES``) for
+        the domain locks; ``None`` inherits the cluster's lock.
+    """
+
+    kind: str = "global"
+    n_domains: int = 1
+    lock: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CS_POLICY_KINDS:
+            raise ValueError(
+                f"unknown cs policy {self.kind!r}; valid policies: "
+                f"{', '.join(sorted(CS_POLICY_KINDS))}"
+            )
+        if self.n_domains < 1:
+            raise ValueError(f"need at least one domain, got {self.n_domains}")
+        if self.kind == "global" and self.n_domains != 1:
+            raise ValueError("the global policy has exactly one domain")
+
+    # ------------------------------------------------------------------
+    @property
+    def hashes_source(self) -> bool:
+        """Routing depends on the peer/source rank."""
+        return self.kind in ("per-peer", "per-vci")
+
+    @property
+    def hashes_tag(self) -> bool:
+        """Routing depends on the tag."""
+        return self.kind in ("per-tag", "per-vci")
+
+    def route(self, peer: int, tag: int, comm: int = 0) -> int:
+        """Domain index for a concrete ``(peer, tag, comm)`` triple.
+
+        Deterministic arithmetic hashing (no ``hash()``: string hash
+        randomization must never leak into simulated behaviour).
+        """
+        n = self.n_domains
+        if n == 1:
+            return 0
+        if self.kind == "per-peer":
+            return peer % n
+        if self.kind == "per-tag":
+            return (tag + comm * 31) % n
+        # per-vci: fold the full triple.
+        return (peer * 31 + tag + comm * 131) % n
+
+    def route_recv(self, env: Envelope) -> Optional[int]:
+        """Domain index for a receive *pattern*, or ``None`` when a
+        wildcard in a hashed field makes the route ambiguous (the
+        receive must then span every domain)."""
+        if self.hashes_source and env.source == ANY_SOURCE:
+            return None
+        if self.hashes_tag and env.tag == ANY_TAG:
+            return None
+        return self.route(env.source, env.tag, env.comm)
+
+    def route_msg(self, env: Envelope) -> int:
+        """Receiver-side domain for a concrete message envelope -- what
+        the *sender* stamps into ``Packet.vci``."""
+        return self.route(env.source, env.tag, env.comm)
+
+    def spec(self) -> str:
+        """The canonical string spec (inverse of :func:`parse_cs_policy`)."""
+        s = self.kind if self.kind == "global" else f"{self.kind}:{self.n_domains}"
+        return s if self.lock is None else f"{s}:{self.lock}"
+
+    def __str__(self) -> str:
+        return self.spec()
+
+
+GLOBAL_POLICY = CsPolicy()
+
+
+def parse_cs_policy(
+    spec: Union[str, CsPolicy], n_ranks: Optional[int] = None
+) -> CsPolicy:
+    """Parse a policy spec string like ``"global"``, ``"per-peer"``,
+    ``"per-tag:8"``, ``"per-vci:4"`` or ``"per-vci:4:ticket"``.
+
+    The optional trailing component selects the lock class used for the
+    domain locks.  ``n_ranks`` resolves the per-peer default domain
+    count; unknown kinds raise ``ValueError`` listing the valid names.
+    """
+    if isinstance(spec, CsPolicy):
+        return spec
+    parts = str(spec).split(":")
+    kind = parts[0]
+    if kind not in CS_POLICY_KINDS:
+        raise ValueError(
+            f"unknown cs policy {spec!r}; valid policies: "
+            f"{', '.join(sorted(CS_POLICY_KINDS))} "
+            f"(e.g. 'per-vci:4' or 'per-vci:4:ticket')"
+        )
+    n_domains = CS_POLICY_KINDS[kind]
+    lock: Optional[str] = None
+    if len(parts) > 1 and parts[1]:
+        try:
+            n_domains = int(parts[1])
+        except ValueError:
+            raise ValueError(
+                f"bad domain count {parts[1]!r} in cs policy {spec!r}"
+            ) from None
+    if len(parts) > 2 and parts[2]:
+        lock = parts[2]
+    if len(parts) > 3:
+        raise ValueError(f"malformed cs policy spec {spec!r}")
+    if n_domains is None:
+        n_domains = n_ranks if n_ranks is not None else 4
+    if kind == "global":
+        n_domains = 1
+    return CsPolicy(kind=kind, n_domains=n_domains, lock=lock)

@@ -33,6 +33,7 @@ from ..obs import Instrument
 from ..sim import Simulator
 from .collectives import Communicator
 from .runtime import MpiRuntime, MpiThread
+from .vci import CsGranularity, CsPolicy, parse_cs_policy
 
 __all__ = ["ClusterConfig", "Cluster"]
 
@@ -66,6 +67,11 @@ class ClusterConfig:
     #: Critical-section granularity: "global" (paper baseline) or
     #: "brief" (payload copies outside the CS, paper Fig. 1 / 7).
     cs_granularity: str = "global"
+    #: Domain-mapping policy: "global" (the paper's single critical
+    #: section), or a sharded spec like "per-peer", "per-tag:8",
+    #: "per-vci:4", "per-vci:4:ticket" (see :mod:`repro.mpi.vci`).
+    #: Parsed to a :class:`~repro.mpi.vci.CsPolicy` at construction.
+    cs: "str | CsPolicy" = "global"
     #: Record a LockTrace per rank (bias analysis needs this).
     trace_locks: bool = False
     #: Observability bus to attach (see :mod:`repro.obs`); None = no
@@ -83,10 +89,13 @@ class ClusterConfig:
                 f"unknown binding {self.binding!r}; valid bindings: "
                 f"{', '.join(sorted(BINDINGS))}"
             )
-        if self.cs_granularity not in ("global", "brief"):
+        self.cs_granularity = CsGranularity.parse(self.cs_granularity)
+        self.cs = parse_cs_policy(self.cs, n_ranks=self.n_ranks)
+        if self.cs.lock is not None and self.cs.lock not in LOCK_CLASSES:
             raise ValueError(
-                f"unknown cs_granularity {self.cs_granularity!r}; "
-                f"valid granularities: brief, global"
+                f"unknown lock {self.cs.lock!r} in cs policy "
+                f"{self.cs.spec()!r}; valid locks: "
+                f"{', '.join(sorted(LOCK_CLASSES))}"
             )
 
     @property
@@ -124,23 +133,39 @@ class Cluster:
         self._progress_ctxs: List[ThreadCtx] = []
         self._shutdown = False
 
+        policy: CsPolicy = config.cs
+        lock_kind = policy.lock or config.lock
         for rank in range(config.n_ranks):
             node = rank // config.ranks_per_node
             machine = self.machines[node]
-            nic = self.fabric.register_rank(rank, node)
+            nic = self.fabric.register_rank(rank, node, n_vcis=policy.n_domains)
             trace = LockTrace() if config.trace_locks else None
             if trace is not None:
                 self.lock_traces[rank] = trace
-            lock = make_lock(
-                config.lock, self.sim, config.costs,
-                name=f"{config.lock}@rank{rank}", trace=trace,
-            )
+            # One lock per arbitration domain.  With a single domain the
+            # name stays exactly "<lock>@rank<N>" -- lock RNG streams are
+            # keyed by name, so this keeps the global policy bit-for-bit
+            # identical to the pre-domain runtime.
+            locks = [
+                make_lock(
+                    lock_kind, self.sim, config.costs,
+                    name=(
+                        f"{lock_kind}@rank{rank}"
+                        if policy.n_domains == 1
+                        else f"{lock_kind}@rank{rank}.d{di}"
+                    ),
+                    trace=trace,
+                )
+                for di in range(policy.n_domains)
+            ]
             rt = MpiRuntime(
-                self.sim, rank, self.fabric, nic, lock, config.costs,
+                self.sim, rank, self.fabric, nic, locks[0], config.costs,
                 eager_threshold=config.eager_threshold,
                 inline_threshold=config.inline_threshold,
                 event_driven_wait=config.event_driven_wait,
                 cs_granularity=config.cs_granularity,
+                policy=policy,
+                domain_locks=locks,
             )
             self.runtimes.append(rt)
 
@@ -193,7 +218,7 @@ class Cluster:
         def loop():
             while not self._shutdown:
                 yield from rt.progress_poke(ctx)
-                if cfg.event_driven_wait and not rt.nic.recv_q:
+                if cfg.event_driven_wait and not rt.nic.has_packets():
                     yield rt._activity.wait()
                     yield self.sim.timeout(rt.costs.event_wakeup)
                 else:

@@ -68,13 +68,22 @@ class _FifoServer:
 
 
 class RankNic:
-    """Per-rank network interface: injection server + receive queue."""
+    """Per-rank network interface: injection server + per-VCI receive
+    queues.
 
-    def __init__(self, rank: int, node: int):
+    The NIC is sliced into ``n_vcis`` virtual communication interfaces
+    (Zambre et al.): each VCI owns an independent receive queue, drained
+    by the matching arbitration domain's progress engine.  A single-VCI
+    NIC behaves exactly like the classic single receive queue.
+    """
+
+    def __init__(self, rank: int, node: int, n_vcis: int = 1):
+        if n_vcis < 1:
+            raise ValueError(f"need at least one VCI, got {n_vcis}")
         self.rank = rank
         self.node = node
         self.inject = _FifoServer()
-        self.recv_q: deque = deque()
+        self.recv_qs: List[deque] = [deque() for _ in range(n_vcis)]
         #: Optional callback ``cb(packet)`` fired on delivery (used by
         #: the runtime's event-driven wait mode).
         self.on_packet = None
@@ -83,8 +92,27 @@ class RankNic:
         self.sent_bytes = 0
         self.recv_packets = 0
 
+    @property
+    def n_vcis(self) -> int:
+        return len(self.recv_qs)
+
+    @property
+    def recv_q(self) -> deque:
+        """The VCI-0 receive queue (the whole NIC for single-VCI runs)."""
+        return self.recv_qs[0]
+
+    def has_packets(self) -> bool:
+        """True when any VCI queue holds an undelivered packet."""
+        return any(self.recv_qs)
+
+    def queued_packets(self) -> int:
+        return sum(len(q) for q in self.recv_qs)
+
     def __repr__(self) -> str:  # pragma: no cover
-        return f"<RankNic rank={self.rank} node={self.node} rxq={len(self.recv_q)}>"
+        return (
+            f"<RankNic rank={self.rank} node={self.node} "
+            f"vcis={self.n_vcis} rxq={self.queued_packets()}>"
+        )
 
 
 class Fabric:
@@ -99,10 +127,10 @@ class Fabric:
         self.on_deliver: List[Callable] = []
 
     # ------------------------------------------------------------------
-    def register_rank(self, rank: int, node: int) -> RankNic:
+    def register_rank(self, rank: int, node: int, n_vcis: int = 1) -> RankNic:
         if rank in self._nics:
             raise ValueError(f"rank {rank} already registered")
-        nic = RankNic(rank, node)
+        nic = RankNic(rank, node, n_vcis=n_vcis)
         self._nics[rank] = nic
         self._uplinks.setdefault(node, _FifoServer())
         return nic
@@ -159,11 +187,15 @@ class Fabric:
                             max(0.0, self._uplinks[src.node].busy_until - now) * 1e6,
                             rank=packet.src_rank)
         local_done = self.sim.timeout(inject_done - now)
-        self.sim.call_at(deliver_at - now, self._deliver, dst, packet)
+        self.sim.call_after(deliver_at - now, self._deliver, dst, packet)
         return local_done
 
     def _deliver(self, nic: RankNic, packet: Packet) -> None:
-        nic.recv_q.append(packet)
+        # Route into the packet's VCI queue; packets addressed past the
+        # NIC's VCI count (mixed-policy clusters are a config error, but
+        # be defensive) fall back to VCI 0.
+        vci = packet.vci if packet.vci < nic.n_vcis else 0
+        nic.recv_qs[vci].append(packet)
         nic.recv_packets += 1
         obs = self.sim.obs
         if obs is not None and obs.wants("net"):

@@ -41,7 +41,7 @@ CONTROL_KINDS = frozenset(
 class Packet:
     """One message on the wire."""
 
-    __slots__ = ("seq", "kind", "src_rank", "dst_rank", "nbytes", "payload")
+    __slots__ = ("seq", "kind", "src_rank", "dst_rank", "nbytes", "payload", "vci")
 
     def __init__(
         self,
@@ -50,6 +50,7 @@ class Packet:
         dst_rank: int,
         nbytes: int,
         payload: Any = None,
+        vci: int = 0,
     ):
         if nbytes < 0:
             raise ValueError(f"negative packet size {nbytes}")
@@ -59,6 +60,11 @@ class Packet:
         self.dst_rank = dst_rank
         self.nbytes = nbytes
         self.payload = payload
+        #: Destination virtual communication interface: selects which of
+        #: the receiving NIC's per-VCI queues the packet lands in.  The
+        #: sender computes it with the cluster-wide mapping policy, so
+        #: both sides agree without negotiation.  0 for single-VCI runs.
+        self.vci = vci
 
     @property
     def is_control(self) -> bool:

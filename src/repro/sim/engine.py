@@ -10,6 +10,7 @@ cost model works at nanosecond scale (1e-9).
 from __future__ import annotations
 
 import heapq
+import warnings
 from itertools import count
 from typing import Any, Callable, Generator, Optional
 
@@ -69,11 +70,28 @@ class Simulator:
     def all_of(self, events) -> AllOf:
         return AllOf(self, events)
 
-    def call_at(self, delay: float, fn: Callable, *args) -> Event:
-        """Run ``fn(*args)`` after ``delay`` seconds (plain callback)."""
+    def call_after(self, delay: float, fn: Callable, *args) -> Event:
+        """Run ``fn(*args)`` after ``delay`` seconds from now (plain
+        callback).  The argument is a *relative* delay, not an absolute
+        time -- schedule at an absolute ``t`` with
+        ``call_after(t - sim.now, ...)``."""
         ev = Timeout(self, delay)
         ev.add_callback(lambda _ev: fn(*args))
         return ev
+
+    def call_at(self, delay: float, fn: Callable, *args) -> Event:
+        """Deprecated alias for :meth:`call_after`.
+
+        Despite the name, this has always taken a relative *delay* (the
+        name suggested an absolute timestamp).  Use ``call_after``.
+        """
+        warnings.warn(
+            "Simulator.call_at takes a relative delay and has been renamed "
+            "to call_after; call_at will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.call_after(delay, fn, *args)
 
     # ------------------------------------------------------------------
     # Scheduling internals

@@ -91,7 +91,9 @@ def _sender(cluster: Cluster, cfg: AssemblyConfig, table: KmerTable,
     # the sender thread once every receiver has drained).
     yield recv_done  # our own receiver has seen every END marker
     yield from barrier(th, cluster.world)  # ... and so has everyone else's
-    add = lambda a, b: a + b
+    def add(a, b):
+        return a + b
+
     out["distinct"] = yield from allreduce(th, cluster.world, table.n_kmers, add)
     out["branching"] = yield from allreduce(th, cluster.world, table.n_branching(), add)
     ends = yield from allreduce(th, cluster.world, table.count_chain_ends(), add)

@@ -17,7 +17,7 @@ non-home socket, reproducing Fig. 10a's 8-core efficiency dip).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np
@@ -127,7 +127,6 @@ def _expand(st: _RankState, chunk: np.ndarray, vpr: int, n_ranks: int):
 
 def _bfs_thread(cluster: Cluster, cfg: BfsConfig, st: _RankState,
                 th, tid: int, vpr: int, home_socket: int):
-    sim = cluster.sim
     P = cluster.n_ranks
     T = cluster.config.threads_per_rank
     numa = cfg.numa_compute_factor if th.ctx.socket != home_socket else 1.0

@@ -15,7 +15,7 @@ to MPI / computation / OMP_Sync segments for the Fig. 11b breakdown.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -14,7 +14,6 @@ from repro.analysis import (
     speedup,
 )
 from repro.locks import LockTrace
-from repro.machine import nehalem_node, ThreadCtx
 
 
 def synthetic_trace(tids, sockets, contenders, prev_socket_counts, holds=None):

@@ -52,7 +52,6 @@ def hammer(sim, lock, threads, n_iters, hold_time, gap_time, priority=None):
 
     Returns an ExclusionChecker with the acquisition history.
     """
-    from repro.locks import Priority
 
     checker = ExclusionChecker()
 

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.locks import CLHLock, CohortTicketLock, LockTrace, TicketLock
-from repro.machine import NS, CostModel, ThreadCtx, nehalem_node, scatter_binding
+from repro.machine import NS, scatter_binding
 from repro.sim import Simulator
 
-from ..conftest import hammer, make_threads
+from ..conftest import make_threads
 
 
 def test_clh_fifo_order(sim, machine, costs):

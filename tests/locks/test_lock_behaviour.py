@@ -6,7 +6,6 @@ priority ordering of the custom lock, and socket capture by the
 socket-aware variant.
 """
 
-import pytest
 
 from repro.locks import (
     LockTrace,

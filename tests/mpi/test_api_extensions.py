@@ -1,6 +1,5 @@
 """Tests for the extended MPI API: testall/testany/waitany/probe/sendrecv."""
 
-import pytest
 
 from repro.mpi import Cluster, ClusterConfig
 

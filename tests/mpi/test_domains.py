@@ -1,0 +1,197 @@
+"""Arbitration domains: routing policies, wildcard spanning, and
+per-domain dangling-request accounting."""
+
+import pytest
+
+from repro.locks.domain import aggregate_domain_stats
+from repro.mpi import Cluster, ClusterConfig
+from repro.mpi.envelope import ANY_SOURCE, ANY_TAG, Envelope
+from repro.mpi.vci import CsGranularity, CsPolicy, parse_cs_policy
+from repro.workloads.n2n import N2NConfig, run_n2n
+
+
+# ----------------------------------------------------------------------
+# CsGranularity (the single registry replacing duplicated string checks)
+# ----------------------------------------------------------------------
+def test_granularity_parse():
+    assert CsGranularity.parse("global") is CsGranularity.GLOBAL
+    assert CsGranularity.parse("brief") is CsGranularity.BRIEF
+    assert CsGranularity.parse(CsGranularity.BRIEF) is CsGranularity.BRIEF
+
+
+def test_granularity_parse_rejects_unknown():
+    with pytest.raises(ValueError, match="cs_granularity"):
+        CsGranularity.parse("fine")
+
+
+# ----------------------------------------------------------------------
+# Policy parsing and routing
+# ----------------------------------------------------------------------
+def test_parse_policy_specs():
+    assert parse_cs_policy("global") == CsPolicy()
+    assert parse_cs_policy("per-vci:4") == CsPolicy(kind="per-vci", n_domains=4)
+    assert parse_cs_policy("per-vci:4:ticket") == CsPolicy(
+        kind="per-vci", n_domains=4, lock="ticket")
+    assert parse_cs_policy("per-tag:8") == CsPolicy(kind="per-tag", n_domains=8)
+    # per-peer defaults its domain count to the rank count.
+    assert parse_cs_policy("per-peer", n_ranks=6).n_domains == 6
+
+
+def test_parse_policy_roundtrip():
+    for spec in ("global", "per-peer:2", "per-tag:8", "per-vci:4:ticket"):
+        assert parse_cs_policy(spec).spec() == spec
+
+
+def test_parse_policy_rejects_garbage():
+    with pytest.raises(ValueError, match="valid policies"):
+        parse_cs_policy("per-rainbow:4")
+    with pytest.raises(ValueError, match="domain count"):
+        parse_cs_policy("per-vci:many")
+    with pytest.raises(ValueError, match="malformed"):
+        parse_cs_policy("per-vci:4:ticket:extra")
+    with pytest.raises(ValueError):
+        CsPolicy(kind="per-vci", n_domains=0)
+    with pytest.raises(ValueError):
+        CsPolicy(kind="global", n_domains=2)
+
+
+def test_routing_is_deterministic_and_in_range():
+    pol = CsPolicy(kind="per-vci", n_domains=4)
+    for peer in range(6):
+        for tag in range(6):
+            r = pol.route(peer, tag)
+            assert 0 <= r < 4
+            assert r == pol.route(peer, tag)
+
+
+def test_global_policy_routes_everything_to_zero():
+    pol = CsPolicy()
+    assert pol.route(17, 93, 5) == 0
+    assert pol.route_recv(Envelope(source=ANY_SOURCE, tag=ANY_TAG)) == 0
+
+
+def test_wildcards_unroutable_only_in_hashed_fields():
+    per_peer = CsPolicy(kind="per-peer", n_domains=4)
+    assert per_peer.route_recv(Envelope(source=ANY_SOURCE, tag=3)) is None
+    assert per_peer.route_recv(Envelope(source=2, tag=ANY_TAG)) == 2
+    per_tag = CsPolicy(kind="per-tag", n_domains=4)
+    assert per_tag.route_recv(Envelope(source=ANY_SOURCE, tag=3)) == 3
+    assert per_tag.route_recv(Envelope(source=2, tag=ANY_TAG)) is None
+
+
+def test_sender_and_receiver_agree_on_route():
+    pol = CsPolicy(kind="per-vci", n_domains=4)
+    # The sender stamps route_msg(envelope); the receiver routes its
+    # matching receive by (source, tag, comm) -- same domain.
+    env = Envelope(source=3, tag=7, comm=1)
+    assert pol.route_msg(env) == pol.route_recv(env)
+
+
+def test_cluster_rejects_bad_policy_and_bad_policy_lock():
+    with pytest.raises(ValueError, match="valid policies"):
+        ClusterConfig(cs="per-rainbow")
+    with pytest.raises(ValueError, match="unknown lock"):
+        ClusterConfig(cs="per-vci:4:rainbow")
+
+
+# ----------------------------------------------------------------------
+# End-to-end traffic over sharded domains
+# ----------------------------------------------------------------------
+def _exchange(cluster, n_msgs=6, nbytes=256, wildcard=False):
+    def sender(th):
+        for i in range(n_msgs):
+            yield from th.send(1, nbytes, tag=i)
+
+    def recver(th):
+        for i in range(n_msgs):
+            if wildcard:
+                yield from th.recv(source=ANY_SOURCE, nbytes=nbytes, tag=ANY_TAG)
+            else:
+                yield from th.recv(source=0, nbytes=nbytes, tag=i)
+
+    cluster.run_workload([
+        sender(cluster.thread(0, 0)), recver(cluster.thread(1, 0)),
+    ])
+
+
+@pytest.mark.parametrize("cs", ["per-peer", "per-tag:3", "per-vci:4"])
+def test_sharded_exchange_completes(cs):
+    cl = Cluster(ClusterConfig(n_nodes=2, threads_per_rank=1, cs=cs, seed=0))
+    _exchange(cl)
+    rt = cl.runtimes[1]
+    assert rt.stats.completed == rt.stats.freed
+    assert rt.dangling_count == 0
+    assert all(len(d.posted_q) == 0 for d in rt.domains)
+
+
+@pytest.mark.parametrize("nbytes", [256, 100_000])  # eager and rendezvous
+def test_wildcard_recv_spans_domains(nbytes):
+    cl = Cluster(ClusterConfig(n_nodes=2, threads_per_rank=1, cs="per-vci:4",
+                               seed=0))
+    _exchange(cl, nbytes=nbytes, wildcard=True)
+    rt = cl.runtimes[1]
+    assert rt.stats.recvs_issued == 6
+    assert rt.stats.completed == rt.stats.freed
+    # No stale wildcard postings left in any domain.
+    assert all(len(d.posted_q) == 0 for d in rt.domains)
+
+
+def test_messages_spread_across_domains():
+    cl = Cluster(ClusterConfig(n_nodes=2, threads_per_rank=4, cs="per-vci:4",
+                               seed=0))
+    run_n2n(cl, N2NConfig(msg_size=512, window=2, n_windows=1, style="rounds"))
+    rt = cl.runtimes[0]
+    active = sum(1 for d in rt.domains if d.stats.packets_handled > 0)
+    assert active > 1, "per-vci routing left all traffic in one domain"
+
+
+# ----------------------------------------------------------------------
+# Dangling accounting across domains (satellite: RuntimeStats under
+# brief granularity + multi-domain routing)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("gran", ["global", "brief"])
+@pytest.mark.parametrize("cs", ["global", "per-vci:4"])
+def test_dangling_sums_across_domains(gran, cs):
+    cl = Cluster(ClusterConfig(
+        n_nodes=2, threads_per_rank=4, cs=cs, cs_granularity=gran, seed=2,
+    ))
+    run_n2n(cl, N2NConfig(msg_size=2048, window=2, n_windows=2,
+                          style="rounds"))
+    for rt in cl.runtimes:
+        agg = aggregate_domain_stats(rt.domains)
+        # The rank-level counters must equal the sum over domains.
+        assert agg["completed"] == rt.stats.completed
+        assert agg["freed"] == rt.stats.freed
+        assert agg["packets_handled"] == rt.stats.packets_handled
+        assert agg["cs_entries_main"] == rt.stats.cs_entries_main
+        assert agg["cs_entries_progress"] == rt.stats.cs_entries_progress
+        # Everything drained: dangling is zero rank-wide and per domain.
+        assert rt.dangling_count == 0
+        assert agg["dangling"] == 0
+        assert all(d.stats.dangling == 0 for d in rt.domains)
+        # The rank peak is bounded by the domain peaks: concurrent
+        # domain peaks sum to at least the rank-wide peak they produce.
+        assert rt.peak_dangling <= sum(d.stats.peak_dangling for d in rt.domains)
+        assert rt.peak_dangling >= max(d.stats.peak_dangling for d in rt.domains)
+
+
+def test_domain_stats_snapshot_keys():
+    cl = Cluster(ClusterConfig(n_nodes=2, threads_per_rank=1, cs="per-vci:2",
+                               seed=0))
+    _exchange(cl, n_msgs=2)
+    rt = cl.runtimes[1]
+    snaps = rt.domain_stats()
+    assert len(snaps) == 2
+    assert all("dangling" in s and "completed" in s for s in snaps)
+
+
+def test_policy_lock_override_builds_that_lock():
+    from repro.locks.ticket import TicketLock
+
+    cl = Cluster(ClusterConfig(n_nodes=2, threads_per_rank=1, lock="mutex",
+                               cs="per-vci:2:ticket", seed=0))
+    rt = cl.runtimes[0]
+    assert all(isinstance(d.lock, TicketLock) for d in rt.domains)
+    # Multi-domain locks get distinct names (they key RNG streams).
+    names = [d.lock.name for d in rt.domains]
+    assert len(set(names)) == len(names)

@@ -1,9 +1,8 @@
 """Tests for the event-driven wait mode (paper 9 future work)."""
 
-import pytest
 
 from repro.machine import CostModel
-from repro.mpi import Cluster, ClusterConfig, allocate_windows
+from repro.mpi import Cluster, ClusterConfig
 from repro.workloads import (
     N2NConfig,
     RmaConfig,

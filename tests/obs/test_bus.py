@@ -100,7 +100,7 @@ def test_bus_clock_follows_bound_sim():
     assert sim.obs is bus
     seen = []
     bus.subscribe(seen.append)
-    sim.call_at(2.5, lambda: bus.instant("meta", "tick"))
+    sim.call_after(2.5, lambda: bus.instant("meta", "tick"))
     sim.run()
     assert seen[-1].ts == 2.5
 

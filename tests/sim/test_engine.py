@@ -46,8 +46,8 @@ def test_negative_timeout_rejected():
 def test_run_until_time():
     sim = Simulator()
     fired = []
-    sim.call_at(1.0, fired.append, "a")
-    sim.call_at(3.0, fired.append, "b")
+    sim.call_after(1.0, fired.append, "a")
+    sim.call_after(3.0, fired.append, "b")
     sim.run(until=2.0)
     assert fired == ["a"]
     assert sim.now == 2.0
@@ -180,7 +180,7 @@ def test_same_time_events_fifo_order():
     sim = Simulator()
     order = []
     for i in range(10):
-        sim.call_at(1.0, order.append, i)
+        sim.call_after(1.0, order.append, i)
     sim.run()
     assert order == list(range(10))
 
@@ -304,3 +304,13 @@ def test_rng_streams_independent_by_name():
     a = sim.rng.stream("x").random(5)
     b = sim.rng.stream("y").random(5)
     assert not (a == b).all()
+
+
+def test_call_at_is_deprecated_alias_for_call_after():
+    sim = Simulator()
+    fired = []
+    with pytest.warns(DeprecationWarning, match="call_after"):
+        sim.call_at(1.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 1.0

@@ -3,7 +3,6 @@
 import pathlib
 import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.mpi import Cluster, ClusterConfig
 from repro.workloads.bfs import BfsConfig, generate_graph, run_bfs
-from repro.workloads.bfs.graph_gen import build_csr, kronecker_edges
+from repro.workloads.bfs.graph_gen import kronecker_edges
 
 
 class TestGraphGen:

@@ -1,6 +1,5 @@
 """Tests for the multithreaded latency benchmark."""
 
-import pytest
 
 from repro.mpi import Cluster, ClusterConfig
 from repro.workloads import LatencyConfig, run_latency
