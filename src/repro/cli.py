@@ -124,16 +124,24 @@ def _cmd_throughput(args) -> int:
     cluster = throughput_cluster(
         lock=args.lock, threads_per_rank=args.threads,
         binding=args.binding, seed=args.seed, cs=args.cs,
+        faults=args.faults, reliability=args.retransmit,
     )
     res = run_throughput(cluster, ThroughputConfig(
         msg_size=args.size, n_windows=args.windows))
-    print(format_table(
-        ["lock", "cs", "threads", "size (B)", "rate (10^3 msg/s)",
-         "avg dangling"],
-        [[args.lock, cluster.config.cs.spec(), args.threads, args.size,
-          f"{res.msg_rate_k:.0f}", f"{res.dangling.mean:.1f}"]],
-        title="pt2pt throughput",
-    ))
+    rows = [[args.lock, cluster.config.cs.spec(), args.threads, args.size,
+             f"{res.msg_rate_k:.0f}", f"{res.dangling.mean:.1f}"]]
+    headers = ["lock", "cs", "threads", "size (B)", "rate (10^3 msg/s)",
+               "avg dangling"]
+    inj = cluster.fault_injector
+    if inj is not None or args.retransmit:
+        headers += ["faults", "drops", "retransmits"]
+        drops = inj.stats.total_drops if inj is not None else 0
+        retx = sum(
+            rt.rel_stats.retransmits for rt in cluster.runtimes
+            if rt.rel_stats is not None
+        )
+        rows[0] += [str(cluster.config.faults or "none"), str(drops), str(retx)]
+    print(format_table(headers, rows, title="pt2pt throughput"))
     return 0
 
 
@@ -149,6 +157,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run an experiment (or 'all')")
     run_p.add_argument("name")
+    run_p.add_argument("--quick", action="store_true",
+                       help="reduced sweep sizes (the default; --paper overrides)")
     run_p.add_argument("--paper", action="store_true",
                        help="paper-scale parameters (slow)")
     run_p.add_argument("--seed", type=int, default=1)
@@ -165,7 +175,8 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--paper", action="store_true",
                     help="paper-scale parameters (slow)")
     tr.add_argument("--seed", type=int, default=1)
-    tr.add_argument("--categories", default=",".join(("lock", "mpi", "net", "meta")),
+    tr.add_argument("--categories",
+                    default=",".join(("lock", "mpi", "net", "fault", "meta")),
                     help="comma-separated event categories to record "
                          "(sim is high-volume and off by default)")
     tr.add_argument("--max-events", type=int, default=500_000,
@@ -188,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="critical-section domain policy: 'global' (paper), "
                          "'per-peer', 'per-tag:N', 'per-vci:N' or "
                          "'per-vci:N:LOCK' (default: global)")
+    tp.add_argument("--faults", default=None, metavar="SPEC",
+                    help="fault plan, e.g. 'drop=0.01,dup=0.001' "
+                         "(see repro.faults.parse_fault_plan)")
+    tp.add_argument("--retransmit", action="store_true",
+                    help="enable the ACK/retransmit reliability layer")
     tp.add_argument("--seed", type=int, default=1)
     tp.set_defaults(fn=_cmd_throughput)
     return ap

@@ -1,0 +1,132 @@
+"""The progress watchdog: no liveness failure may become a silent hang.
+
+A lossy fabric without retransmission turns the paper's starvation
+pathologies into true deadlocks: a receiver whose message was dropped
+polls the progress engine forever and the discrete-event simulation never
+runs out of events.  The watchdog is a service process that samples a
+cluster-wide progress metric (completions + frees + packets handled)
+every ``interval``; after ``grace`` consecutive frozen samples it emits a
+diagnostic dump -- per-domain queue depths, lock holder and waiters,
+dangling counts -- on the observability bus under the ``fault`` category
+and aborts the run with :class:`ProgressStallError` (carrying the same
+dump on ``.diagnostics``).
+
+The watchdog only reads counters: it adds no simulated time to any
+workload thread and consumes no RNG, and it is only installed when an
+active fault plan is configured.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["ProgressStallError", "ProgressWatchdog"]
+
+
+class ProgressStallError(RuntimeError):
+    """The cluster made no progress for the watchdog's full grace period."""
+
+    def __init__(self, message: str, diagnostics: Optional[dict] = None):
+        super().__init__(message)
+        #: The same dump the watchdog emitted on the obs bus.
+        self.diagnostics = diagnostics or {}
+
+
+class ProgressWatchdog:
+    """Samples cluster progress and aborts hung runs with a dump."""
+
+    def __init__(self, cluster, interval: float, grace: int = 5):
+        if interval <= 0.0:
+            raise ValueError(f"watchdog interval must be positive, got {interval}")
+        self.cluster = cluster
+        self.interval = interval
+        self.grace = int(grace)
+        self.stalled = False
+        #: Last dump taken (also carried by the raised error).
+        self.diagnostics: Optional[dict] = None
+        self._proc = None
+
+    def install(self) -> "ProgressWatchdog":
+        self._proc = self.cluster.sim.process(self._loop(), name="watchdog")
+        return self
+
+    # ------------------------------------------------------------------
+    def _metric(self) -> int:
+        total = 0
+        for rt in self.cluster.runtimes:
+            total += rt.stats.completed + rt.stats.freed + rt.stats.packets_handled
+            rel = rt.rel_stats
+            if rel is not None:
+                # A run quietly waiting out a retransmit backoff is
+                # recovering, not stalled.
+                total += rel.retransmits + rel.acks_received + rel.giveups
+        return total
+
+    def _loop(self):
+        sim = self.cluster.sim
+        last = self._metric()
+        frozen = 0
+        while not self.cluster._shutdown:
+            yield sim.timeout(self.interval)
+            if self.cluster._shutdown:
+                return
+            if sim.queued_events == 0:
+                # Nothing but us left on the heap: the run is over (or
+                # already deadlocked in a way run() reports itself).
+                return
+            cur = self._metric()
+            if cur != last:
+                last = cur
+                frozen = 0
+                continue
+            frozen += 1
+            if frozen >= self.grace:
+                self.stalled = True
+                self.diagnostics = self._dump()
+                raise ProgressStallError(
+                    f"no progress for {frozen} x {self.interval * 1e6:.0f}us "
+                    f"(t={sim.now * 1e6:.1f}us, metric={cur}); see .diagnostics",
+                    diagnostics=self.diagnostics,
+                )
+
+    # ------------------------------------------------------------------
+    def _dump(self) -> dict:
+        """Snapshot the runtime state a hang post-mortem needs, and emit
+        it on the obs bus (``fault`` category)."""
+        sim = self.cluster.sim
+        ranks = []
+        for rt in self.cluster.runtimes:
+            domains = []
+            for d in rt.domains:
+                owner = d.lock.owner
+                domains.append({
+                    "index": d.index,
+                    "recv_q": len(d.recv_q) if d.recv_q is not None else 0,
+                    "posted_q": len(d.posted_q),
+                    "unexp_q": len(d.unexp_q),
+                    "lock_holder": owner.name if owner is not None else None,
+                    "lock_waiters": d.lock.n_contenders,
+                    "dangling": d.stats.dangling,
+                })
+            ranks.append({
+                "rank": rt.rank,
+                "dangling": rt.dangling_count,
+                "live_requests": len(rt.requests),
+                "pending_rndv_sends": len(rt._pending_sends),
+                "domains": domains,
+            })
+        diag = {"t_s": sim.now, "ranks": ranks}
+        obs = sim.obs
+        if obs is not None and obs.wants("fault"):
+            obs.instant("fault", "watchdog.stall", args={"t_s": sim.now})
+            for r in ranks:
+                obs.instant("fault", "watchdog.dump", rank=r["rank"], args=r)
+                obs.counter("fault", "watchdog.dangling", r["dangling"],
+                            rank=r["rank"])
+        return diag
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<ProgressWatchdog interval={self.interval * 1e6:.0f}us "
+            f"grace={self.grace} stalled={self.stalled}>"
+        )

@@ -55,7 +55,7 @@ class Request:
         "req_id", "kind", "rank", "owner_tid", "envelope", "nbytes",
         "state", "protocol", "unexpected", "data",
         "t_issued", "t_completed", "t_freed", "peer",
-        "vci", "vcis", "claimed",
+        "vci", "vcis", "claimed", "error",
     )
 
     def __init__(
@@ -98,6 +98,10 @@ class Request:
         #: simulator yields) prevents a second domain matching the same
         #: request.
         self.claimed = False
+        #: Set by the reliability layer when the retransmit budget is
+        #: exhausted: the request is *completed* (so waiters unblock)
+        #: but the transfer failed.
+        self.error = False
 
     # ------------------------------------------------------------------
     @property

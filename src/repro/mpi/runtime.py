@@ -52,13 +52,16 @@ __all__ = ["MpiRuntime", "MpiThread", "RuntimeStats"]
 
 
 class _EagerInfo:
-    __slots__ = ("envelope", "nbytes", "req_id", "data")
+    __slots__ = ("envelope", "nbytes", "req_id", "data", "vci")
 
-    def __init__(self, envelope, nbytes, req_id, data):
+    def __init__(self, envelope, nbytes, req_id, data, vci=0):
         self.envelope = envelope
         self.nbytes = nbytes
         self.req_id = req_id
         self.data = data
+        #: The *sender's* domain index: a reliability ACK must be routed
+        #: to the domain the sender is polling.
+        self.vci = vci
 
 
 class _RndvInfo:
@@ -113,6 +116,7 @@ class MpiRuntime:
         cs_granularity: "str | CsGranularity" = "global",
         policy: Optional[CsPolicy] = None,
         domain_locks: Optional[Sequence[SimLock]] = None,
+        reliability=None,
     ):
         self.sim = sim
         self.rank = rank
@@ -170,6 +174,21 @@ class MpiRuntime:
         self.coll_seq: Dict[int, int] = {}
         #: RMA windows by id (populated by repro.mpi.rma).
         self.windows: Dict[int, object] = {}
+        #: ACK/retransmit layer (:mod:`repro.faults.reliability`), or
+        #: None -- the default, which leaves every hot-path branch on
+        #: ``self._rel is None`` and the pre-reliability schedule intact.
+        if reliability is not None:
+            from ..faults.reliability import ReliabilityConfig, ReliabilityLayer
+            cfg = (
+                ReliabilityConfig() if reliability is True else reliability
+            )
+            self._rel = ReliabilityLayer(self, cfg)
+        else:
+            self._rel = None
+        #: Graceful degradation: indices of failed domains and the
+        #: re-routing map installed by :meth:`fail_domain`.
+        self.failed_domains: set = set()
+        self._vci_redirect: Dict[int, int] = {}
 
     # ==================================================================
     # Single-domain compatibility views
@@ -197,22 +216,105 @@ class MpiRuntime:
         """Per-domain counter snapshots, index-aligned with ``domains``."""
         return [d.stats.as_dict() for d in self.domains]
 
+    @property
+    def rel_stats(self):
+        """Reliability counters, or None when the layer is disabled."""
+        return None if self._rel is None else self._rel.stats
+
+    # ==================================================================
+    # Graceful degradation
+    # ==================================================================
+    def fail_domain(self, index: int, fallback: int = 0) -> None:
+        """Fail arbitration domain ``index`` and re-route its traffic to
+        ``fallback``: queued packets and posted/unexpected entries
+        migrate immediately, future routing (and in-flight packets, via
+        the NIC-level redirect) lands in the fallback domain.  The
+        failed domain's lock is simply never taken again."""
+        if index == fallback:
+            raise ValueError("fallback must differ from the failed domain")
+        n = len(self.domains)
+        if not (0 <= index < n) or not (0 <= fallback < n):
+            raise ValueError(f"domain index out of range (have {n} domains)")
+        if fallback in self.failed_domains:
+            raise ValueError(f"fallback domain {fallback} has itself failed")
+        if index in self.failed_domains:
+            return
+        self.failed_domains.add(index)
+        # Route-through for earlier failures that pointed at this domain,
+        # then the new redirect itself.
+        for k, v in list(self._vci_redirect.items()):
+            if v == index:
+                self._vci_redirect[k] = fallback
+        self._vci_redirect[index] = fallback
+        self.nic.vci_redirect.clear()
+        self.nic.vci_redirect.update(self._vci_redirect)
+
+        d = self.domains[index]
+        fb = self.domains[fallback]
+        moved_pkts = len(d.recv_q) if d.recv_q is not None else 0
+        if d.recv_q is not None:
+            while d.recv_q:
+                fb.recv_q.append(d.recv_q.popleft())
+        moved_posted = len(d.posted_q)
+        fb.posted_q._q.extend(d.posted_q._q)
+        d.posted_q._q.clear()
+        moved_unexp = len(d.unexp_q)
+        fb.unexp_q._q.extend(d.unexp_q._q)
+        d.unexp_q._q.clear()
+        # Transfer the dangling balance so note_free() on the fallback
+        # does not go negative for migrated requests.
+        fb.stats.dangling += d.stats.dangling
+        if fb.stats.dangling > fb.stats.peak_dangling:
+            fb.stats.peak_dangling = fb.stats.dangling
+        d.stats.dangling = 0
+        for req in self.requests.values():
+            if req.vci == index:
+                req.vci = fallback
+            if index in req.vcis:
+                req.vcis = tuple(dict.fromkeys(
+                    fallback if i == index else i for i in req.vcis
+                ))
+        obs = self.sim.obs
+        if obs is not None and obs.wants("fault"):
+            obs.instant(
+                "fault", "domain.failover", rank=self.rank,
+                args={"failed": index, "fallback": fallback,
+                      "moved_packets": moved_pkts,
+                      "moved_posted": moved_posted,
+                      "moved_unexpected": moved_unexp},
+            )
+
     # ==================================================================
     # Routing
     # ==================================================================
+    def _route(self, index: int) -> int:
+        """Map a policy-chosen domain index through the failover
+        redirects (identity while no domain has failed)."""
+        if self._vci_redirect:
+            return self._vci_redirect.get(index, index)
+        return index
+
     def _send_domain(self, dest: int, tag: int, comm: int) -> ArbitrationDomain:
-        return self.domains[self.policy.route(dest, tag, comm)]
+        return self.domains[self._route(self.policy.route(dest, tag, comm))]
 
     def _req_domains(self, reqs: Sequence[Request]) -> List[ArbitrationDomain]:
         """Ordered unique domains the given requests live in."""
         seen: List[int] = []
         for r in reqs:
             for i in r.vcis:
+                i = self._route(i)
                 if i not in seen:
                     seen.append(i)
         if not seen:
             seen.append(0)
         return [self.domains[i] for i in seen]
+
+    def _active_domains(self) -> "Sequence[ArbitrationDomain]":
+        """All domains, minus failed ones (the common no-failure case
+        returns the list itself)."""
+        if not self.failed_domains:
+            return self.domains
+        return [d for d in self.domains if d.index not in self.failed_domains]
 
     # ==================================================================
     # Critical section (all per-domain)
@@ -371,6 +473,8 @@ class MpiRuntime:
                 vci=self.policy.route_msg(env),
             )
             self.fabric.send(pkt)
+            if self._rel is not None:
+                self._rel.track_rts(pkt, req)
         else:
             if protocol is Protocol.EAGER:
                 # Copy into the NIC's eager buffer.
@@ -380,11 +484,16 @@ class MpiRuntime:
             req.mark_pending()
             pkt = Packet(
                 PacketKind.EAGER, self.rank, dest, nbytes,
-                payload=_EagerInfo(env, nbytes, req.req_id, data),
+                payload=_EagerInfo(env, nbytes, req.req_id, data, dom.index),
                 vci=self.policy.route_msg(env),
             )
             local_done = self.fabric.send(pkt)
-            local_done.add_callback(lambda _ev, r=req: self._complete(r))
+            if self._rel is None:
+                # Reliable fabric: local completion is delivery.
+                local_done.add_callback(lambda _ev, r=req: self._complete(r))
+            else:
+                # Lossy fabric: completion waits for the receiver's ACK.
+                self._rel.track(pkt, req)
         yield from self._cs_release(dom, ctx)
         return req
 
@@ -410,7 +519,7 @@ class MpiRuntime:
         route = self.policy.route_recv(env)
         yield self.sim.timeout(self.costs.request_alloc * (0.5 + self._rng.random()))
         if route is not None:
-            dom = self.domains[route]
+            dom = self.domains[self._route(route)]
             yield from self._cs_acquire(dom, ctx, Priority.HIGH)
             yield self._cs_time(dom, self.costs.cs_main)
             req = Request(
@@ -445,9 +554,10 @@ class MpiRuntime:
             yield from self._cs_release(dom, ctx)
             return req
 
-        # Spanning wildcard: visit every domain in index order.
+        # Spanning wildcard: visit every (live) domain in index order.
         req = None
-        for i, dom in enumerate(self.domains):
+        doms = self._active_domains()
+        for i, dom in enumerate(doms):
             yield from self._cs_acquire(dom, ctx, Priority.HIGH)
             if i == 0:
                 yield self._cs_time(dom, self.costs.cs_main)
@@ -455,8 +565,8 @@ class MpiRuntime:
                     ReqKind.RECV, self.rank, ctx.tid, env, nbytes,
                     self.sim.now, peer=source,
                 )
-                req.vci = 0
-                req.vcis = tuple(range(len(self.domains)))
+                req.vci = dom.index
+                req.vcis = tuple(d.index for d in doms)
                 self.requests[req.req_id] = req
                 self.stats.recvs_issued += 1
             if req.claimed or req.complete:
@@ -629,7 +739,10 @@ class MpiRuntime:
         """
         env = Envelope(source=source, tag=tag, comm=comm)
         route = self.policy.route_recv(env)
-        doms = self.domains if route is None else (self.domains[route],)
+        doms = (
+            self._active_domains() if route is None
+            else (self.domains[self._route(route)],)
+        )
         from .envelope import matches as _matches
         found = None
         for i, dom in enumerate(doms):
@@ -686,7 +799,7 @@ class MpiRuntime:
     def progress_poke(self, ctx: ThreadCtx):
         """One LOW-priority progress poll over every domain (the async
         progress thread's whole life, paper 6.1.2)."""
-        for dom in self.domains:
+        for dom in self._active_domains():
             yield from self._cs_acquire(dom, ctx, Priority.LOW)
             yield from self._progress_poll(dom, ctx)
             yield from self._cs_release(dom, ctx)
@@ -731,6 +844,10 @@ class MpiRuntime:
             obs.counter("mpi", "packets_handled", self.stats.packets_handled,
                         rank=self.rank)
         yield self._cs_time(dom, self.costs.cs_poll_packet)
+        if self._rel is not None and self._rel.pre_handle(pkt):
+            # ACKs and duplicate data/RTS copies are absorbed by the
+            # reliability layer; they never reach the protocol handlers.
+            return
         kind = pkt.kind
         if kind is PacketKind.EAGER:
             info = pkt.payload
@@ -778,15 +895,28 @@ class MpiRuntime:
                 )
         elif kind is PacketKind.CTS:
             sender_req_id, recv_req_id, recv_vci = pkt.payload
-            req, data = self._pending_sends.pop(sender_req_id)
+            if self._rel is not None:
+                # The CTS acknowledges the RTS; a *duplicate* CTS (the
+                # receiver replayed it for a retried RTS) finds the
+                # pending send already gone and is dropped here.
+                self._rel.on_cts(sender_req_id)
+                pending = self._pending_sends.pop(sender_req_id, None)
+                if pending is None:
+                    return
+                req, data = pending
+            else:
+                req, data = self._pending_sends.pop(sender_req_id)
             data_pkt = Packet(
                 PacketKind.RNDV_DATA, self.rank, pkt.src_rank, req.nbytes,
-                payload=(recv_req_id, data), vci=recv_vci,
+                payload=(recv_req_id, data, req.vci), vci=recv_vci,
             )
             local_done = self.fabric.send(data_pkt)
-            local_done.add_callback(lambda _ev, r=req: self._complete(r))
+            if self._rel is None:
+                local_done.add_callback(lambda _ev, r=req: self._complete(r))
+            else:
+                self._rel.track(data_pkt, req)
         elif kind is PacketKind.RNDV_DATA:
-            recv_req_id, data = pkt.payload
+            recv_req_id, data, _sender_vci = pkt.payload
             req = self.requests[recv_req_id]
             # Rendezvous lands zero-copy in the user buffer (RDMA write);
             # only the handling cost (already charged) applies.
@@ -812,6 +942,9 @@ class MpiRuntime:
             vci=sender_vci,
         )
         self.fabric.send(pkt)
+        if self._rel is not None:
+            self._rel.note_cts(dest, sender_req_id, recv_req.req_id,
+                               recv_req.vci, sender_vci)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -20,6 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..faults import (
+    FaultInjector,
+    FaultPlan,
+    ProgressStallError,
+    ProgressWatchdog,
+    ReliabilityConfig,
+    parse_fault_plan,
+)
 from ..locks import LOCK_CLASSES, LockTrace, make_lock
 from ..machine import (
     BINDINGS,
@@ -77,6 +85,15 @@ class ClusterConfig:
     #: Observability bus to attach (see :mod:`repro.obs`); None = no
     #: instrumentation overhead at all.
     obs: Optional[Instrument] = None
+    #: Fault plan (:class:`~repro.faults.FaultPlan`), a spec string like
+    #: ``"drop=0.01,dup=0.001"``, or None.  None / an inactive plan
+    #: installs nothing -- the schedule is bit-identical to a build
+    #: without the faults package.
+    faults: "FaultPlan | str | None" = None
+    #: Reliability layer: True (defaults), a
+    #: :class:`~repro.faults.ReliabilityConfig`, or None/False (off --
+    #: the pre-reliability instruction stream).
+    reliability: "ReliabilityConfig | bool | None" = None
 
     def __post_init__(self) -> None:
         if self.lock not in LOCK_CLASSES:
@@ -91,6 +108,12 @@ class ClusterConfig:
             )
         self.cs_granularity = CsGranularity.parse(self.cs_granularity)
         self.cs = parse_cs_policy(self.cs, n_ranks=self.n_ranks)
+        if isinstance(self.faults, str):
+            self.faults = parse_fault_plan(self.faults)
+        if self.reliability is True:
+            self.reliability = ReliabilityConfig()
+        elif self.reliability is False:
+            self.reliability = None
         if self.cs.lock is not None and self.cs.lock not in LOCK_CLASSES:
             raise ValueError(
                 f"unknown lock {self.cs.lock!r} in cs policy "
@@ -133,6 +156,16 @@ class Cluster:
         self._progress_ctxs: List[ThreadCtx] = []
         self._shutdown = False
 
+        # Fault machinery.  An inactive plan installs *nothing*: no
+        # injector, no watchdog, no extra events -- the determinism
+        # contract (see repro.faults).
+        plan = config.faults
+        self.fault_injector: Optional[FaultInjector] = None
+        self.watchdog: Optional[ProgressWatchdog] = None
+        if plan is not None and plan.active:
+            self.fault_injector = FaultInjector(self.sim, plan)
+            self.fabric.faults = self.fault_injector
+
         policy: CsPolicy = config.cs
         lock_kind = policy.lock or config.lock
         for rank in range(config.n_ranks):
@@ -166,6 +199,7 @@ class Cluster:
                 cs_granularity=config.cs_granularity,
                 policy=policy,
                 domain_locks=locks,
+                reliability=config.reliability,
             )
             self.runtimes.append(rt)
 
@@ -187,6 +221,23 @@ class Cluster:
         if config.async_progress:
             for rank in range(config.n_ranks):
                 self._fork_progress_thread(rank)
+
+        if self.fault_injector is not None:
+            inj = self.fault_injector
+            for c in plan.crashes:
+                # The injector enforces the crash by timestamp; this
+                # marker just announces it on the obs bus.
+                self.sim.call_after(c.at_s, inj.note_crash, c.rank)
+            for df in plan.domain_failures:
+                self.sim.call_after(
+                    df.at_s, self.runtimes[df.rank].fail_domain,
+                    df.domain, df.fallback,
+                )
+            if plan.watchdog_interval_ns > 0.0:
+                self.watchdog = ProgressWatchdog(
+                    self, plan.watchdog_interval_ns * 1e-9,
+                    grace=plan.watchdog_grace,
+                ).install()
 
     # ------------------------------------------------------------------
     def _rank_cores(self, machine: Machine, rank: int):
@@ -244,11 +295,23 @@ class Cluster:
         With ``procs``: run until every listed process finishes, then
         shut down service threads (async progress) and drain.  Without:
         run the heap dry.
+
+        A watchdog-detected stall surfaces as the underlying
+        :class:`~repro.faults.ProgressStallError` (diagnostics attached)
+        rather than a generic simulator crash.
         """
-        if procs:
-            self.sim.run(until=self.sim.all_of(procs))
+        from ..sim.engine import SimulationError
+        try:
+            if procs:
+                self.sim.run(until=self.sim.all_of(procs))
+                self._shutdown = True
+            self.sim.run()
+        except SimulationError as exc:
             self._shutdown = True
-        self.sim.run()
+            cause = exc.__cause__
+            if isinstance(cause, ProgressStallError):
+                raise cause from None
+            raise
 
     def run_workload(self, generators, name: str = "workload") -> list:
         """Spawn one process per generator, run to completion, return

@@ -87,10 +87,21 @@ class RankNic:
         #: Optional callback ``cb(packet)`` fired on delivery (used by
         #: the runtime's event-driven wait mode).
         self.on_packet = None
+        #: Failed-domain re-routing: packets stamped with a failed VCI
+        #: are delivered into the fallback domain's queue instead
+        #: (installed by ``MpiRuntime.fail_domain``).  Empty = no-op.
+        self.vci_redirect: Dict[int, int] = {}
+        #: Delivery-time filter ``f(packet) -> bool`` installed by the
+        #: reliability layer: returning True absorbs the packet (ACKed /
+        #: deduplicated at the NIC, like hardware-level RDMA acks) so it
+        #: never enters a receive queue.  None = no-op.
+        self.rel_filter = None
         # Counters for metrics/debugging.
         self.sent_packets = 0
         self.sent_bytes = 0
         self.recv_packets = 0
+        #: Packets whose VCI was out of range and fell back to VCI 0.
+        self.vci_fallbacks = 0
 
     @property
     def n_vcis(self) -> int:
@@ -125,6 +136,10 @@ class Fabric:
         self._uplinks: Dict[int, _FifoServer] = {}
         #: Optional hooks ``cb(packet)`` run at delivery (tests, tracing).
         self.on_deliver: List[Callable] = []
+        #: Fault injector (:class:`repro.faults.FaultInjector`) or None.
+        #: None means the fault machinery costs exactly one attribute
+        #: check per send -- the pre-faults instruction stream.
+        self.faults = None
 
     # ------------------------------------------------------------------
     def register_rank(self, rank: int, node: int, n_vcis: int = 1) -> RankNic:
@@ -143,22 +158,31 @@ class Fabric:
         """Inject ``packet``; returns an Event firing at *local completion*
         (source buffer reusable / data handed to the NIC)."""
         cfg = self.config
-        src = self._nics[packet.src_rank]
+        try:
+            src = self._nics[packet.src_rank]
+        except KeyError:
+            raise ValueError(f"unknown source rank {packet.src_rank}") from None
         try:
             dst = self._nics[packet.dst_rank]
         except KeyError:
             raise ValueError(f"unknown destination rank {packet.dst_rank}") from None
         now = self.sim.now
+        faults = self.faults
+        if faults is not None and faults.block_send(packet, now):
+            # A crashed sender's packets never leave; the local-completion
+            # event never fires (its buffers are gone with it).
+            return self.sim.event(name="send-from-crashed-rank")
+        stall = 0.0 if faults is None else faults.inject_penalty(packet.src_rank, now)
         wire_bytes = packet.nbytes + cfg.header_bytes
 
         if src.node == dst.node:
-            serialize = cfg.shm_inject_ns * 1e-9 + wire_bytes / (
+            serialize = cfg.shm_inject_ns * 1e-9 + stall + wire_bytes / (
                 cfg.shm_bandwidth_gbps * 1e9
             )
             inject_done = src.inject.reserve(now, serialize)
             deliver_at = inject_done + cfg.shm_latency_ns * 1e-9
         else:
-            inject_done = src.inject.reserve(now, cfg.inject_ns * 1e-9)
+            inject_done = src.inject.reserve(now, cfg.inject_ns * 1e-9 + stall)
             uplink = self._uplinks[src.node]
             xfer_done = uplink.reserve(
                 inject_done, wire_bytes / (cfg.bandwidth_gbps * 1e9)
@@ -187,14 +211,58 @@ class Fabric:
                             max(0.0, self._uplinks[src.node].busy_until - now) * 1e6,
                             rank=packet.src_rank)
         local_done = self.sim.timeout(inject_done - now)
-        self.sim.call_after(deliver_at - now, self._deliver, dst, packet)
+        if faults is None:
+            self.sim.call_after(deliver_at - now, self._deliver, dst, packet)
+            return local_done
+        fate = faults.fate(packet, src.node, dst.node, now, deliver_at)
+        if fate.drop:
+            # The wire time was spent (reservations stand); only the
+            # delivery is lost.  Local completion still fires: a lossy
+            # NIC reports injection, not receipt.
+            return local_done
+        delay = deliver_at - now + fate.extra_delay
+        self.sim.call_after(delay, self._deliver, dst, packet)
+        if fate.duplicate:
+            self.sim.call_after(
+                delay + faults.duplicate_gap, self._deliver, dst, packet
+            )
         return local_done
 
     def _deliver(self, nic: RankNic, packet: Packet) -> None:
+        if nic.rel_filter is not None and nic.rel_filter(packet):
+            # Absorbed by the reliability layer at the NIC (an ACK, or a
+            # duplicate data packet): acked/accounted but never queued.
+            nic.recv_packets += 1
+            obs = self.sim.obs
+            if obs is not None and obs.wants("net"):
+                obs.async_end(
+                    "net", packet.kind.value, span_id=packet.seq,
+                    rank=packet.src_rank,
+                    src=packet.src_rank, dst=packet.dst_rank,
+                    nbytes=packet.nbytes,
+                )
+            for cb in self.on_deliver:
+                cb(packet)
+            return
         # Route into the packet's VCI queue; packets addressed past the
         # NIC's VCI count (mixed-policy clusters are a config error, but
-        # be defensive) fall back to VCI 0.
-        vci = packet.vci if packet.vci < nic.n_vcis else 0
+        # be defensive) fall back to VCI 0 -- loudly: it is counted on
+        # the NIC and warned about on the obs bus (fault category).
+        vci = packet.vci
+        if vci < 0 or vci >= nic.n_vcis:
+            nic.vci_fallbacks += 1
+            obs = self.sim.obs
+            if obs is not None and obs.wants("fault"):
+                obs.instant(
+                    "fault", "vci.fallback", rank=nic.rank,
+                    args={"vci": vci, "n_vcis": nic.n_vcis,
+                          "src": packet.src_rank, "kind": packet.kind.value},
+                )
+                obs.counter("fault", "vci.fallback", nic.vci_fallbacks,
+                            rank=nic.rank)
+            vci = 0
+        if nic.vci_redirect:
+            vci = nic.vci_redirect.get(vci, vci)
         nic.recv_qs[vci].append(packet)
         nic.recv_packets += 1
         obs = self.sim.obs

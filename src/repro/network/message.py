@@ -29,12 +29,14 @@ class PacketKind(enum.Enum):
     RMA_GET_REPLY = "rma_get_reply"  # get reply (data)
     RMA_ACC = "rma_acc"        # one-sided accumulate (data)
     RMA_ACK = "rma_ack"        # remote completion ack (control)
+    ACK = "ack"                # reliability-layer data ack (control)
     APP = "app"                # application-defined payloads
 
 
 #: Packet kinds that carry no payload bytes of their own.
 CONTROL_KINDS = frozenset(
-    {PacketKind.RTS, PacketKind.CTS, PacketKind.RMA_GET, PacketKind.RMA_ACK}
+    {PacketKind.RTS, PacketKind.CTS, PacketKind.RMA_GET, PacketKind.RMA_ACK,
+     PacketKind.ACK}
 )
 
 

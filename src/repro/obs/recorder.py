@@ -145,7 +145,7 @@ class EventLog:
 #: Default category set traced by :class:`Recording` and the CLI: the
 #: ``sim`` category (per-event dispatch / process wake) is opt-in
 #: because its volume dwarfs everything else.
-DEFAULT_TRACE_CATEGORIES = ("lock", "mpi", "net", "meta")
+DEFAULT_TRACE_CATEGORIES = ("lock", "mpi", "net", "fault", "meta")
 
 
 class Recording:

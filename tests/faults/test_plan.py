@@ -1,0 +1,116 @@
+"""FaultPlan construction, validation and spec parsing."""
+
+import pytest
+
+from repro.faults import (
+    DomainFailure,
+    FaultPlan,
+    InjectStall,
+    LinkOutage,
+    RankCrash,
+    parse_fault_plan,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def test_default_plan_is_inactive():
+    assert not FaultPlan().active
+    assert not FaultPlan.none().active
+
+
+def test_any_fault_source_activates():
+    assert FaultPlan(drop=0.01).active
+    assert FaultPlan(duplicate=0.5).active
+    assert FaultPlan(reorder=0.1).active
+    assert FaultPlan(outages=(LinkOutage(0, 0.0, 1.0),)).active
+    assert FaultPlan(stalls=(InjectStall(0, 0.0, 1.0),)).active
+    assert FaultPlan(crashes=(RankCrash(1, 0.5),)).active
+    assert FaultPlan(domain_failures=(DomainFailure(0, 1, 0.5),)).active
+
+
+def test_probabilities_validated():
+    with pytest.raises(ValueError):
+        FaultPlan(drop=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(duplicate=-0.1)
+    with pytest.raises(ValueError):
+        FaultPlan(watchdog_grace=0)
+
+
+def test_schedule_lists_coerced_to_tuples():
+    plan = FaultPlan(crashes=[RankCrash(0, 1.0)])
+    assert isinstance(plan.crashes, tuple)
+
+
+def test_outage_validation_and_covers():
+    with pytest.raises(ValueError):
+        LinkOutage(0, start_s=2.0, end_s=1.0)
+    with pytest.raises(ValueError):
+        LinkOutage(0, 0.0, 1.0, drop=1.5)
+    o = LinkOutage(0, start_s=1.0, end_s=2.0)
+    assert not o.covers(0.5)
+    assert o.covers(1.0)
+    assert o.covers(1.5)
+    assert not o.covers(2.0)  # half-open window
+
+
+def test_stall_validation_and_covers():
+    with pytest.raises(ValueError):
+        InjectStall(0, 0.0, 1.0, extra_ns=-1.0)
+    with pytest.raises(ValueError):
+        InjectStall(0, start_s=2.0, end_s=1.0)
+    s = InjectStall(0, 0.0, 1.0)
+    assert s.covers(0.0)
+    assert not s.covers(1.0)
+
+
+def test_parse_basic_spec():
+    plan = parse_fault_plan("drop=0.01,dup=0.001")
+    assert plan.drop == 0.01
+    assert plan.duplicate == 0.001
+    assert plan.internode_only
+
+
+def test_parse_none_and_empty():
+    assert parse_fault_plan("none") == FaultPlan.none()
+    assert parse_fault_plan("") == FaultPlan.none()
+    assert parse_fault_plan(None) is None
+
+
+def test_parse_passthrough_plan():
+    plan = FaultPlan(drop=0.5)
+    assert parse_fault_plan(plan) is plan
+
+
+def test_parse_intranode_flag():
+    assert not parse_fault_plan("drop=0.1,intranode=1").internode_only
+    assert parse_fault_plan("drop=0.1,intranode=0").internode_only
+
+
+def test_parse_int_fields_coerced():
+    plan = parse_fault_plan("drop=0.1,watchdog_grace=3")
+    assert plan.watchdog_grace == 3
+    assert isinstance(plan.watchdog_grace, int)
+
+
+def test_parse_unknown_key_rejected():
+    with pytest.raises(ValueError, match="valid keys"):
+        parse_fault_plan("dorp=0.01")
+
+
+def test_parse_malformed_item_rejected():
+    with pytest.raises(ValueError, match="key=value"):
+        parse_fault_plan("drop")
+
+
+def test_spec_round_trips():
+    plan = FaultPlan(drop=0.01, duplicate=0.001)
+    assert parse_fault_plan(plan.spec()) == plan
+    assert str(FaultPlan.none()) == "none"
+
+
+def test_with_overrides():
+    plan = FaultPlan(drop=0.01)
+    assert plan.with_overrides(drop=0.02).drop == 0.02
+    assert plan.drop == 0.01  # frozen original untouched

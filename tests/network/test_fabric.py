@@ -23,8 +23,32 @@ def test_register_duplicate_rank_rejected():
 
 def test_unknown_destination_rejected():
     sim, fab = make_fabric()
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="unknown destination rank 99"):
         fab.send(Packet(PacketKind.EAGER, 0, 99, 10))
+
+
+def test_unknown_source_rejected():
+    sim, fab = make_fabric()
+    with pytest.raises(ValueError, match="unknown source rank 99"):
+        fab.send(Packet(PacketKind.EAGER, 99, 1, 10))
+
+
+def test_out_of_range_vci_falls_back_loudly():
+    from repro.obs import Instrument
+
+    sim, fab = make_fabric()  # single-VCI NICs
+    events = []
+    bus = Instrument()
+    bus.subscribe(events.append, categories=("fault",))
+    sim.obs = bus
+    fab.send(Packet(PacketKind.EAGER, 0, 1, 100, vci=7))
+    sim.run()
+    nic = fab.nic(1)
+    # Delivered (into VCI 0), but counted and warned about -- never silent.
+    assert len(nic.recv_qs[0]) == 1
+    assert nic.vci_fallbacks == 1
+    fallback = [ev for ev in events if ev.name == "vci.fallback"]
+    assert fallback and fallback[0].args["vci"] == 7
 
 
 def test_negative_size_rejected():

@@ -1,0 +1,33 @@
+"""The deprecated ``Simulator.call_at`` alias: still works, but warns."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_call_at_warns_deprecation():
+    sim = Simulator(seed=0)
+    with pytest.warns(DeprecationWarning, match="renamed to call_after"):
+        sim.call_at(1e-6, lambda: None)
+
+
+def test_call_at_still_schedules_after_relative_delay():
+    sim = Simulator(seed=0)
+    fired = []
+    with pytest.warns(DeprecationWarning):
+        sim.call_at(5e-6, fired.append, "x")
+    assert fired == []
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == pytest.approx(5e-6)
+
+
+def test_call_at_matches_call_after():
+    sim_a, sim_b = Simulator(seed=3), Simulator(seed=3)
+    times = {}
+    with pytest.warns(DeprecationWarning):
+        sim_a.call_at(2e-6, lambda: times.setdefault("at", sim_a.now))
+    sim_b.call_after(2e-6, lambda: times.setdefault("after", sim_b.now))
+    sim_a.run()
+    sim_b.run()
+    assert times["at"] == times["after"]

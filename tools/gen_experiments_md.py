@@ -55,6 +55,14 @@ PAPER_CLAIMS = {
               "grows, bounding the arbitration benefit.",
     "fig12b": "SWAP assembly runs ~2x faster with fair locks, independent "
               "of core count, with no application changes.",
+    "fig_chaos": "(beyond the paper) The paper assumes a loss-free fabric; "
+                 "this run degrades it (`repro.faults`, e.g. `--faults "
+                 "drop=0.01`) and shows the remedies hold: with NIC-level "
+                 "ACK/retransmit every lock keeps >= 90% of its zero-loss "
+                 "goodput at 1% internode drop, and without retransmission "
+                 "the progress watchdog turns the resulting hang into a "
+                 "diagnosable abort (per-domain queue depths, lock holders, "
+                 "dangling counts).",
 }
 
 # Known, documented deviations.
