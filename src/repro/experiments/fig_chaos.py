@@ -14,9 +14,10 @@ arbitration remedies hold up when the runtime must also retransmit:
   counts) on the observability bus.
 
 Goodput is measured at workload completion (not after the service
-drain): an installed watchdog keeps a pending timer on the heap, and
-counting its final tick against the lossy run -- but not the zero-loss
-baseline -- would skew every ratio.
+drain), and the watchdog's pending sample timer is *cancelled* at
+shutdown (``Event.cancel``) so the drain ends at the last real event --
+the lossy run no longer pays a final watchdog tick the zero-loss
+baseline never had.
 """
 
 from __future__ import annotations
@@ -51,6 +52,8 @@ def _goodput(
     cl.sim.run(until=cl.sim.all_of(procs))
     elapsed = cl.sim.now - t0
     cl._shutdown = True
+    if cl.watchdog is not None:
+        cl.watchdog.stop()
     cl.sim.run()
     total = threads * cfg.window * cfg.n_windows
     rate_k = total / elapsed / 1e3

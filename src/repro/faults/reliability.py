@@ -22,9 +22,14 @@ runtime executes the exact pre-reliability instruction stream):
   exhaustion the request is failed (``Request.error``) and completed so
   its owner unblocks -- the watchdog is the backstop, not the only exit.
 
-Timers are plain simulator callbacks: they consume no RNG and exist only
-while the layer is enabled, preserving the zero-fault determinism
-contract.
+Timers are cancellable simulator callbacks (``Simulator.call_after``
+handles): an ACK/CTS calls :meth:`Event.cancel` on the pending timer, so
+a satisfied packet's timer is never dispatched -- no generation tokens,
+no stale-callback filtering, no dead heap entries surviving to pop time.
+Timers consume no RNG and exist only while the layer is enabled,
+preserving the zero-fault determinism contract; cancellation itself is
+schedule-neutral (the same timers are *scheduled* either way, dead ones
+are just skipped by the engine).
 """
 
 from __future__ import annotations
@@ -103,17 +108,16 @@ class ReliabilityStats:
 class _Unacked:
     """One tracked in-flight packet and its retransmit state."""
 
-    __slots__ = ("pkt", "req", "retries", "timer", "done", "t0", "is_rts",
+    __slots__ = ("pkt", "req", "retries", "timer", "t0", "is_rts",
                  "base_rto_ns")
 
     def __init__(self, pkt, req, now, base_rto_ns, is_rts=False):
         self.pkt = pkt
         self.req = req
         self.retries = 0
-        #: Generation token: bumped on every (re)arm so stale timer
-        #: callbacks (from a superseded arm) are ignored.
-        self.timer = 0
-        self.done = False
+        #: Pending retransmit timer: the cancellable handle returned by
+        #: ``Simulator.call_after`` (None between firing and re-arm).
+        self.timer = None
         self.t0 = now
         self.is_rts = is_rts
         #: Size-aware initial RTO: the configured floor plus this
@@ -124,6 +128,9 @@ class _Unacked:
 
 class ReliabilityLayer:
     """Per-rank ACK/retransmit state machine, owned by an MpiRuntime."""
+
+    __slots__ = ("rt", "cfg", "stats", "unacked", "rts_pending", "seen",
+                 "cts_cache")
 
     def __init__(self, runtime, config: Optional[ReliabilityConfig] = None):
         self.rt = runtime
@@ -181,14 +188,21 @@ class ReliabilityLayer:
         self._arm(e)
 
     def _arm(self, e: _Unacked) -> None:
-        e.timer += 1
         ceiling = max(self.cfg.rto_max_ns, e.base_rto_ns)
         rto = min(e.base_rto_ns * (self.cfg.backoff ** e.retries), ceiling)
-        self.rt.sim.call_after(rto * 1e-9, self._on_timer, e, e.timer)
+        e.timer = self.rt.sim.call_after(rto * 1e-9, self._on_timer, e)
 
-    def _on_timer(self, e: _Unacked, token: int) -> None:
-        if e.done or token != e.timer:
-            return
+    @staticmethod
+    def _disarm(e: _Unacked) -> None:
+        """Cancel the pending retransmit timer (no-op if it already
+        fired): the cancelled event is never dispatched."""
+        timer = e.timer
+        if timer is not None:
+            timer.cancel()
+            e.timer = None
+
+    def _on_timer(self, e: _Unacked) -> None:
+        e.timer = None
         over_budget = (
             self.cfg.budget_ns > 0.0
             and (self.rt.sim.now - e.t0) * 1e9 >= self.cfg.budget_ns
@@ -213,7 +227,7 @@ class ReliabilityLayer:
         self._arm(e)
 
     def _give_up(self, e: _Unacked) -> None:
-        e.done = True
+        self._disarm(e)
         self.stats.giveups += 1
         if e.is_rts:
             self.rts_pending.pop(e.pkt.payload.req_id, None)
@@ -235,20 +249,20 @@ class ReliabilityLayer:
 
     def on_ack(self, seq: int) -> None:
         e = self.unacked.pop(seq, None)
-        if e is None or e.done:
+        if e is None:
             self.stats.dup_acks += 1
             return
-        e.done = True
+        self._disarm(e)
         self.stats.acks_received += 1
         req = e.req
         if req is not None and not req.complete:
             self.rt._complete(req)
 
     def on_cts(self, sender_req_id: int) -> None:
-        """The CTS is the RTS's ACK: stop retrying it."""
+        """The CTS is the RTS's ACK: cancel its retransmit timer."""
         e = self.rts_pending.pop(sender_req_id, None)
         if e is not None:
-            e.done = True
+            self._disarm(e)
             self.stats.acks_received += 1
 
     # ==================================================================

@@ -14,6 +14,14 @@ dump on ``.diagnostics``).
 The watchdog only reads counters: it adds no simulated time to any
 workload thread and consumes no RNG, and it is only installed when an
 active fault plan is configured.
+
+The sampling loop holds its pending interval timer as a first-class
+cancellable handle: :meth:`ProgressWatchdog.stop` cancels it at shutdown,
+so the post-workload drain is not padded out to the next sampling tick
+(historically every consumer had to disable the watchdog or measure
+before the drain to avoid that skew).  The idle check reads the
+simulator's *live* event count -- a heap holding nothing but cancelled
+timers is a finished run, not pending work.
 """
 
 from __future__ import annotations
@@ -45,10 +53,24 @@ class ProgressWatchdog:
         #: Last dump taken (also carried by the raised error).
         self.diagnostics: Optional[dict] = None
         self._proc = None
+        #: The pending interval timer (cancellable), None between samples.
+        self._pending = None
 
     def install(self) -> "ProgressWatchdog":
         self._proc = self.cluster.sim.process(self._loop(), name="watchdog")
         return self
+
+    def stop(self) -> None:
+        """Tear down the sampling loop by cancelling its pending timer.
+
+        The cancelled timer is never dispatched, so a post-workload drain
+        ends at the last real event instead of the watchdog's next tick.
+        Idempotent; safe to call whether or not a sample is pending.
+        """
+        timer = self._pending
+        if timer is not None:
+            timer.cancel()
+            self._pending = None
 
     # ------------------------------------------------------------------
     def _metric(self) -> int:
@@ -67,12 +89,16 @@ class ProgressWatchdog:
         last = self._metric()
         frozen = 0
         while not self.cluster._shutdown:
-            yield sim.timeout(self.interval)
+            self._pending = timer = sim.timeout(self.interval)
+            yield timer
+            self._pending = None
             if self.cluster._shutdown:
                 return
             if sim.queued_events == 0:
-                # Nothing but us left on the heap: the run is over (or
+                # No *live* event left but us: the run is over (or
                 # already deadlocked in a way run() reports itself).
+                # Dead (cancelled) timers still on the heap are not
+                # pending work and must not keep the watchdog sampling.
                 return
             cur = self._metric()
             if cur != last:

@@ -305,6 +305,10 @@ class Cluster:
             if procs:
                 self.sim.run(until=self.sim.all_of(procs))
                 self._shutdown = True
+                if self.watchdog is not None:
+                    # Cancel the pending sample so the drain below ends
+                    # at the last real event, not the next watchdog tick.
+                    self.watchdog.stop()
             self.sim.run()
         except SimulationError as exc:
             self._shutdown = True

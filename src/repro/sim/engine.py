@@ -5,12 +5,18 @@ behaviour in the reproduction -- threads contending on locks, the MPI
 progress engine, network packet delivery -- is expressed as processes and
 events scheduled here.  Time is a ``float`` in **seconds**; the calibrated
 cost model works at nanosecond scale (1e-9).
+
+Cancelled events (:meth:`~repro.sim.events.Event.cancel`) are deleted
+*lazily*: the heap entry stays where it is, is skipped at pop time without
+being dispatched, and a compaction sweep rebuilds the heap in place once
+more than half of it is dead.  Skipping is schedule-neutral -- the heap is
+totally ordered by ``(time, seq)``, so live events dispatch at exactly the
+times and in exactly the order they would have without any cancellations.
 """
 
 from __future__ import annotations
 
 import heapq
-import warnings
 from itertools import count
 from typing import Any, Callable, Generator, Optional
 
@@ -19,6 +25,11 @@ from .process import Process
 from .rng import RngStreams
 
 __all__ = ["Simulator", "SimulationError"]
+
+#: Lazy-deletion compaction gate: never rebuild a heap carrying fewer dead
+#: entries than this, however high the dead fraction (tiny heaps are
+#: cheaper to drain than to rebuild).
+_COMPACT_MIN_DEAD = 64
 
 
 class SimulationError(RuntimeError):
@@ -48,6 +59,16 @@ class Simulator:
         #: this single attach point; ``None`` means instrumentation is
         #: disabled and costs one attribute check.
         self.obs = None
+        #: Cancelled entries currently sitting on the heap (lazy deletion).
+        self._dead = 0
+        #: Live events dispatched (popped and their callbacks run).
+        self.dispatched = 0
+        #: Cancelled entries removed without dispatch (pop-time skips plus
+        #: compaction sweeps) -- each one is a dispatch the old
+        #: fire-and-filter timer scheme would have paid for.
+        self.skipped = 0
+        #: In-place heap rebuilds triggered by the >50%-dead threshold.
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Factories
@@ -70,28 +91,18 @@ class Simulator:
     def all_of(self, events) -> AllOf:
         return AllOf(self, events)
 
-    def call_after(self, delay: float, fn: Callable, *args) -> Event:
+    def call_after(self, delay: float, fn: Callable, *args) -> Timeout:
         """Run ``fn(*args)`` after ``delay`` seconds from now (plain
         callback).  The argument is a *relative* delay, not an absolute
         time -- schedule at an absolute ``t`` with
-        ``call_after(t - sim.now, ...)``."""
+        ``call_after(t - sim.now, ...)``.
+
+        Returns the underlying :class:`Timeout` as a cancellable handle:
+        ``handle.cancel()`` guarantees ``fn`` never runs (a no-op if the
+        timer already fired)."""
         ev = Timeout(self, delay)
         ev.add_callback(lambda _ev: fn(*args))
         return ev
-
-    def call_at(self, delay: float, fn: Callable, *args) -> Event:
-        """Deprecated alias for :meth:`call_after`.
-
-        Despite the name, this has always taken a relative *delay* (the
-        name suggested an absolute timestamp).  Use ``call_after``.
-        """
-        warnings.warn(
-            "Simulator.call_at takes a relative delay and has been renamed "
-            "to call_after; call_at will be removed in a future release",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.call_after(delay, fn, *args)
 
     # ------------------------------------------------------------------
     # Scheduling internals
@@ -99,27 +110,50 @@ class Simulator:
     def _schedule(self, event: Event, delay: float) -> None:
         heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
 
+    def _note_cancelled(self) -> None:
+        """Account a cancelled heap entry; compact when >50% is dead.
+
+        The rebuild mutates ``self._heap`` *in place* (slice assignment +
+        heapify) because the run loops hold a local reference to the list.
+        """
+        self._dead += 1
+        heap = self._heap
+        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 > len(heap):
+            heap[:] = [entry for entry in heap if not entry[2]._cancelled]
+            heapq.heapify(heap)
+            self.skipped += self._dead
+            self.compactions += 1
+            self._dead = 0
+
     def _crash(self, process: Process, exc: BaseException) -> None:
         self._crashed.append((process, exc))
+
+    def _raise_crash(self) -> None:
+        process, exc = self._crashed.pop()
+        raise SimulationError(
+            f"process {process.name!r} died at t={self.now:.9f}s: {exc!r}"
+        ) from exc
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Process the next event. Raises IndexError if the heap is empty."""
-        when, _seq, event = heapq.heappop(self._heap)
-        if when < self.now:
-            raise AssertionError("time went backwards")  # pragma: no cover
+        """Dispatch the next live event, skipping cancelled entries.
+        Raises IndexError if no live event remains on the heap."""
+        heap = self._heap
+        when, _seq, event = heapq.heappop(heap)
+        while event._cancelled:
+            self._dead -= 1
+            self.skipped += 1
+            when, _seq, event = heapq.heappop(heap)
         self.now = when
+        self.dispatched += 1
         obs = self.obs
         if obs is not None and event.name and obs.wants("sim"):
             obs.instant("sim", "dispatch", args={"event": event.name})
         event._process()
         if self._crashed:
-            process, exc = self._crashed.pop()
-            raise SimulationError(
-                f"process {process.name!r} died at t={self.now:.9f}s: {exc!r}"
-            ) from exc
+            self._raise_crash()
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run the simulation.
@@ -127,14 +161,36 @@ class Simulator:
         Parameters
         ----------
         until:
-            ``None``   -- run until the event heap is empty.
+            ``None``   -- run until no live event remains on the heap.
             ``float``  -- run until the clock reaches this time.
             ``Event``  -- run until this event has been processed and
             return its value (raising if it failed).
+
+        The ``None`` and ``float`` forms inline the dispatch loop (no
+        per-event ``step()`` call): this is the simulator's hot path.
         """
         if until is None:
-            while self._heap:
-                self.step()
+            heap = self._heap
+            pop = heapq.heappop
+            while len(heap) > self._dead:
+                when, _seq, event = pop(heap)
+                if event._cancelled:
+                    self._dead -= 1
+                    self.skipped += 1
+                    continue
+                self.now = when
+                self.dispatched += 1
+                obs = self.obs
+                if obs is not None and event.name and obs.wants("sim"):
+                    obs.instant("sim", "dispatch", args={"event": event.name})
+                event._process()
+                if self._crashed:
+                    self._raise_crash()
+            if heap:
+                # Only cancelled entries remain: drop them wholesale.
+                self.skipped += len(heap)
+                heap.clear()
+                self._dead = 0
             return None
 
         if isinstance(until, Event):
@@ -144,7 +200,7 @@ class Simulator:
                 # exception here rather than crashing the event loop.
                 stop.add_callback(lambda _ev: None)
             while not stop.processed:
-                if not self._heap:
+                if len(self._heap) <= self._dead:
                     raise SimulationError(
                         f"simulation ran out of events before {stop!r} fired "
                         f"(deadlock?)"
@@ -158,16 +214,46 @@ class Simulator:
         horizon = float(until)
         if horizon < self.now:
             raise ValueError(f"cannot run until {horizon} < now ({self.now})")
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+        heap = self._heap
+        while heap:
+            when, _seq, event = heap[0]
+            if event._cancelled:
+                heapq.heappop(heap)
+                self._dead -= 1
+                self.skipped += 1
+                continue
+            if when > horizon:
+                break
+            heapq.heappop(heap)
+            self.now = when
+            self.dispatched += 1
+            obs = self.obs
+            if obs is not None and event.name and obs.wants("sim"):
+                obs.instant("sim", "dispatch", args={"event": event.name})
+            event._process()
+            if self._crashed:
+                self._raise_crash()
         self.now = horizon
         return None
 
     # ------------------------------------------------------------------
     @property
     def queued_events(self) -> int:
-        """Number of events still waiting on the heap."""
+        """Number of *live* (non-cancelled) events still on the heap."""
+        return len(self._heap) - self._dead
+
+    @property
+    def dead_events(self) -> int:
+        """Cancelled heap entries awaiting lazy removal."""
+        return self._dead
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, live plus dead."""
         return len(self._heap)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self.now:.9f}s queued={len(self._heap)}>"
+        return (
+            f"<Simulator t={self.now:.9f}s queued={self.queued_events} "
+            f"dead={self._dead}>"
+        )

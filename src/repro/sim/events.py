@@ -11,6 +11,14 @@ and are *processed* (their callbacks run) when the simulator pops them off
 the event heap.  Triggering schedules processing at the current simulation
 time, so callback execution order is always governed by the heap -- this
 keeps re-entrancy out of user code.
+
+Events can also be *cancelled* (:meth:`Event.cancel`): a cancelled event
+never runs its callbacks and its heap entry is deleted lazily -- skipped at
+pop time, or swept out by the engine's periodic compaction (see
+``Simulator._note_cancelled``).  Cancellation is a race the caller may
+legitimately lose: cancelling an event that already triggered (or was
+already processed, or already cancelled) is a no-op returning ``False``,
+never an error; symmetrically, triggering a cancelled event is a no-op.
 """
 
 from __future__ import annotations
@@ -35,7 +43,7 @@ class Event:
 
     __slots__ = (
         "sim", "name", "callbacks", "_value", "_ok",
-        "_scheduled", "_triggered", "_defused",
+        "_scheduled", "_triggered", "_cancelled", "_defused",
     )
 
     def __init__(self, sim, name: str = ""):
@@ -47,6 +55,7 @@ class Event:
         self._ok: bool = True
         self._scheduled = False
         self._triggered = False
+        self._cancelled = False
         # A failed event whose exception was delivered to at least one
         # waiter is "defused"; undefused failures surface in Simulator.run.
         self._defused = False
@@ -63,6 +72,11 @@ class Event:
         return self.callbacks is None
 
     @property
+    def cancelled(self) -> bool:
+        """True once the event has been cancelled (it will never fire)."""
+        return self._cancelled
+
+    @property
     def ok(self) -> bool:
         """True if the event succeeded (only meaningful when triggered)."""
         return self._ok
@@ -75,8 +89,40 @@ class Event:
         return self._value
 
     # ------------------------------------------------------------------
+    def cancel(self) -> bool:
+        """Cancel the event: its callbacks will never run.
+
+        Returns True if this call killed the event.  The no-op cases --
+        already cancelled, already triggered, already processed -- return
+        False: cancelling after the fact is a race the caller
+        legitimately loses, not an error.  Likewise, triggering a
+        cancelled event is a no-op.
+
+        A cancelled heap entry is *lazily* deleted: it is skipped at pop
+        time (or swept by compaction) and never dispatched.  Any process
+        still waiting on a cancelled event is parked forever, so cancel
+        an event only when every waiter is being torn down with it (the
+        intended idiom for service-loop timers).  Cancelling a
+        :class:`~repro.sim.process.Process` does *not* stop its
+        generator -- use :meth:`Process.interrupt` for that.
+        """
+        if self._cancelled or self._triggered or self.callbacks is None:
+            return False
+        self._cancelled = True
+        # Drop waiter references now; nothing will ever run them.
+        self.callbacks = []
+        if self._scheduled:
+            self.sim._note_cancelled()
+        return True
+
     def succeed(self, value: Any = None) -> "Event":
-        """Trigger the event successfully with ``value``."""
+        """Trigger the event successfully with ``value``.
+
+        Triggering a cancelled event is a no-op (the losing side of the
+        cancel/trigger race).
+        """
+        if self._cancelled:
+            return self
         if self._scheduled or self._triggered:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._value = value
@@ -89,10 +135,13 @@ class Event:
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception.
 
-        The exception is thrown into every waiting process.
+        The exception is thrown into every waiting process.  Failing a
+        cancelled event is a no-op, like :meth:`succeed`.
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() expects an exception, got {exception!r}")
+        if self._cancelled:
+            return self
         if self._scheduled or self._triggered:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._value = exception
@@ -105,8 +154,11 @@ class Event:
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Register ``callback`` to run when the event is processed.
 
-        If the event was already processed the callback runs immediately.
+        If the event was already processed the callback runs immediately;
+        on a cancelled event this is a no-op (the callback will never run).
         """
+        if self._cancelled:
+            return
         if self.callbacks is None:
             callback(self)
         else:
@@ -121,7 +173,8 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (
-            "processed" if self.processed
+            "cancelled" if self._cancelled
+            else "processed" if self.processed
             else "triggered" if self.triggered
             else "pending"
         )
@@ -166,6 +219,20 @@ class _Condition(Event):
     def _check(self, event: Event) -> None:
         raise NotImplementedError
 
+    def _detach(self) -> None:
+        """Drop this condition's ``_check`` from every losing child.
+
+        Once the condition has triggered, the remaining children's
+        callbacks are dead weight: on a long-lived child (e.g. a NIC
+        activity signal raced against repeated timeouts) they would
+        otherwise accumulate without bound.
+        """
+        check = self._check
+        for ev in self.events:
+            cbs = ev.callbacks
+            if cbs:
+                cbs[:] = [cb for cb in cbs if cb != check]
+
     def _collect(self) -> dict:
         return {ev: ev.value for ev in self.events if ev.triggered and ev.ok}
 
@@ -185,6 +252,7 @@ class AnyOf(_Condition):
             self.fail(event.value)
         else:
             self.succeed(self._collect())
+        self._detach()
 
 
 class AllOf(_Condition):
@@ -200,6 +268,7 @@ class AllOf(_Condition):
         if not event.ok:
             event._defused = True
             self.fail(event.value)
+            self._detach()
             return
         self._n_fired += 1
         if self._n_fired == len(self.events):

@@ -20,6 +20,8 @@ __all__ = ["Signal", "SimBarrier", "SimSemaphore", "Mailbox"]
 class Signal:
     """A re-armable broadcast: ``wait()`` returns an event fired by ``fire()``."""
 
+    __slots__ = ("sim", "name", "_event")
+
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
         self.name = name
@@ -39,6 +41,8 @@ class SimBarrier:
     Models intra-process thread barriers (e.g. ``#pragma omp barrier``) with
     an optional per-arrival overhead charged by the caller.
     """
+
+    __slots__ = ("sim", "parties", "name", "_arrived", "_event", "generation")
 
     def __init__(self, sim: Simulator, parties: int, name: str = ""):
         if parties < 1:
@@ -64,6 +68,8 @@ class SimBarrier:
 
 class SimSemaphore:
     """Counting semaphore with FIFO wakeup order."""
+
+    __slots__ = ("sim", "name", "_value", "_waiters")
 
     def __init__(self, sim: Simulator, value: int = 1, name: str = ""):
         if value < 0:
@@ -99,6 +105,8 @@ class Mailbox:
     ``put`` never blocks; ``get`` returns an event fired with the oldest
     item.  Used for in-simulation plumbing (e.g. NIC receive queues).
     """
+
+    __slots__ = ("sim", "name", "_items", "_getters")
 
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim

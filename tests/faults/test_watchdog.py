@@ -92,6 +92,55 @@ def test_watchdog_can_be_disabled_by_plan():
     assert cl.watchdog is None
 
 
+def test_run_with_only_cancelled_timers_pending_is_idle():
+    """Regression: the idle check must read the *live* event count.
+
+    A heap holding nothing but cancelled timers is a finished run; the
+    old raw ``queued_events`` (which counted dead entries) kept the
+    watchdog sampling a frozen metric until it aborted a run that was
+    actually over."""
+    from repro.sim import Simulator
+
+    class _StubCluster:
+        def __init__(self, sim):
+            self.sim = sim
+            self.runtimes = []
+            self._shutdown = False
+
+    sim = Simulator(seed=0)
+    wd = ProgressWatchdog(_StubCluster(sim), interval=10e-6, grace=2).install()
+    # Dead timers pending far beyond the grace window.
+    timers = [sim.call_after(1.0, lambda: None) for _ in range(5)]
+    for t in timers:
+        assert t.cancel()
+    sim.run()  # must terminate cleanly, not raise ProgressStallError
+    assert not wd.stalled
+    assert sim.now < 1.0  # the dead timers were never dispatched
+
+
+def test_stop_cancels_pending_sample_so_drain_is_not_padded():
+    """Shutdown cancels the watchdog's next tick: the drain ends at the
+    last real event instead of the next sampling interval."""
+    cl = Cluster(ClusterConfig(
+        n_nodes=2, ranks_per_node=1, threads_per_rank=1, lock="ticket",
+        seed=4,
+        faults=FaultPlan(reorder=1.0, watchdog_interval_ns=1e9),  # 1 s ticks
+    ))
+    t0, t1 = cl.thread(0), cl.thread(1)
+
+    def sender():
+        yield from t0.send(1, 256, tag=0, data="hi")
+
+    def receiver():
+        yield from t1.recv(source=0, tag=0)
+
+    cl.run_workload([sender(), receiver()])
+    assert cl.watchdog is not None and not cl.watchdog.stalled
+    # A microsecond-scale workload must not drain through a 1 s tick.
+    assert cl.sim.now < 0.5
+    assert cl.sim.queued_events == 0
+
+
 def test_backoff_quiet_period_is_not_a_stall():
     # Reliability on, heavy loss, tight watchdog budget: retransmit
     # activity counts as progress, so recovery is never misdiagnosed.

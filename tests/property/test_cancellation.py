@@ -1,0 +1,114 @@
+"""Property tests (hypothesis) for event cancellation.
+
+Two invariants the whole runtime leans on:
+
+* **absolute** -- a cancelled event's callback never runs, whatever the
+  interleaving of schedule/cancel/fire;
+* **schedule-neutral** -- a run that schedules timers and cancels some of
+  them dispatches exactly the same live events, at the same times, in the
+  same order, as an equivalent run in which the cancelled timers' side
+  effects never existed.  This is what lets the reliability layer arm a
+  timer per packet without perturbing any bit-identity pin.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+NS = 1e-9
+
+#: One timer: (fire delay ns, wants cancel, cancel time ns).
+_op = st.tuples(
+    st.integers(1, 200),
+    st.booleans(),
+    st.integers(0, 199),
+)
+
+
+def _normalise(ops):
+    """A cancel only takes effect if it lands strictly before the fire
+    time; clamp the plan so "cancelled" means cancelled."""
+    return [
+        (fire, cancel and at < fire, min(at, fire - 1))
+        for fire, cancel, at in ops
+    ]
+
+
+@given(ops=st.lists(_op, min_size=1, max_size=60), seed=st.integers(0, 2**16))
+@settings(max_examples=80, deadline=None)
+def test_cancelled_timers_never_run_and_are_schedule_neutral(ops, seed):
+    plan = _normalise(ops)
+
+    def run(schedule_cancelled: bool):
+        sim = Simulator(seed=seed)
+        trace = []
+        for i, (fire, cancelled, at) in enumerate(plan):
+            if cancelled:
+                if schedule_cancelled:
+                    handle = sim.call_after(fire * NS, trace.append, (i, "dead"))
+                    sim.call_after(at * NS, handle.cancel)
+                else:
+                    # Equivalent run: the canceller still dispatches (as a
+                    # no-op) but the doomed timer's side effect never exists.
+                    sim.call_after(at * NS, lambda: None)
+            else:
+                sim.call_after(fire * NS, trace.append, (i, "live"))
+        sim.run()
+        return sim, trace
+
+    sim_a, trace_a = run(True)
+    sim_b, trace_b = run(False)
+
+    # (a) cancelled events never run.
+    assert all(tag == "live" for _i, tag in trace_a)
+    # (b) bit-identical schedule of observable work.
+    assert trace_a == trace_b
+    assert sim_a.dispatched == sim_b.dispatched
+    assert sim_a.now == sim_b.now
+    # The books balance: every scheduled entry was dispatched or skipped.
+    assert sim_a.queued_events == 0 and sim_a.dead_events == 0
+    n_cancelled = sum(1 for _f, c, _a in plan if c)
+    assert sim_a.skipped == n_cancelled
+
+
+@given(fire=st.integers(1, 100), cancel_at=st.integers(0, 200))
+@settings(max_examples=60, deadline=None)
+def test_cancel_fire_race_is_a_noop_not_an_error(fire, cancel_at):
+    """Whoever loses the cancel/fire race gets a no-op, never an error.
+
+    At equal timestamps the timer wins: it was scheduled first, so the
+    heap's (time, seq) order dispatches it before the canceller."""
+    sim = Simulator()
+    ran = []
+    out = {}
+    handle = sim.call_after(fire * NS, ran.append, 1)
+    sim.call_after(cancel_at * NS, lambda: out.setdefault("r", handle.cancel()))
+    sim.run()
+    if cancel_at < fire:
+        assert ran == [] and out["r"] is True
+    else:
+        assert ran == [1] and out["r"] is False
+
+
+@given(n=st.integers(1, 40), seed=st.integers(0, 999))
+@settings(max_examples=40, deadline=None)
+def test_random_cancel_storm_books_balance(n, seed):
+    """Cancel a random subset mid-run; counters must reconcile exactly."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    sim = Simulator(seed=seed)
+    fired = []
+    handles = [
+        sim.call_after(float(rng.integers(1, 500)) * NS, fired.append, i)
+        for i in range(n)
+    ]
+    doomed = [h for h in handles if rng.random() < 0.5]
+    for h in doomed:
+        sim.call_after(0.0, h.cancel)  # t=0 beats every timer (delay >= 1ns)
+    sim.run()
+    assert len(fired) == n - len(doomed)
+    assert sim.dispatched == (n - len(doomed)) + len(doomed)  # + cancellers
+    assert sim.skipped == len(doomed)
+    assert sim.queued_events == 0 and sim.dead_events == 0

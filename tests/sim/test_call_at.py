@@ -1,33 +1,27 @@
-"""The deprecated ``Simulator.call_at`` alias: still works, but warns."""
+"""``Simulator.call_at`` is gone.
+
+The alias was deprecated when scheduling was renamed to ``call_after``
+(the old name implied an absolute timestamp but always took a relative
+delay) and the warning promised removal; this pins the removal so the
+alias cannot quietly come back.
+"""
 
 import pytest
 
 from repro.sim import Simulator
 
 
-def test_call_at_warns_deprecation():
-    sim = Simulator(seed=0)
-    with pytest.warns(DeprecationWarning, match="renamed to call_after"):
+def test_call_at_is_removed():
+    sim = Simulator()
+    assert not hasattr(Simulator, "call_at")
+    with pytest.raises(AttributeError):
         sim.call_at(1e-6, lambda: None)
 
 
-def test_call_at_still_schedules_after_relative_delay():
-    sim = Simulator(seed=0)
+def test_call_after_is_the_surviving_spelling():
+    sim = Simulator()
     fired = []
-    with pytest.warns(DeprecationWarning):
-        sim.call_at(5e-6, fired.append, "x")
-    assert fired == []
+    sim.call_after(5e-6, fired.append, "x")
     sim.run()
     assert fired == ["x"]
     assert sim.now == pytest.approx(5e-6)
-
-
-def test_call_at_matches_call_after():
-    sim_a, sim_b = Simulator(seed=3), Simulator(seed=3)
-    times = {}
-    with pytest.warns(DeprecationWarning):
-        sim_a.call_at(2e-6, lambda: times.setdefault("at", sim_a.now))
-    sim_b.call_after(2e-6, lambda: times.setdefault("after", sim_b.now))
-    sim_a.run()
-    sim_b.run()
-    assert times["at"] == times["after"]

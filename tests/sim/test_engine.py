@@ -306,11 +306,10 @@ def test_rng_streams_independent_by_name():
     assert not (a == b).all()
 
 
-def test_call_at_is_deprecated_alias_for_call_after():
+def test_call_after_returns_cancellable_handle():
     sim = Simulator()
     fired = []
-    with pytest.warns(DeprecationWarning, match="call_after"):
-        sim.call_at(1.0, fired.append, "x")
+    handle = sim.call_after(1.0, fired.append, "x")
+    assert handle.cancel()
     sim.run()
-    assert fired == ["x"]
-    assert sim.now == 1.0
+    assert fired == []
