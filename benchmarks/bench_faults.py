@@ -65,9 +65,9 @@ def bench_one(mode: str, faults, reliability, seed: int = 1) -> dict:
         return schedule(event, delay)
 
     cl.sim._schedule = counting_schedule
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # simlint: disable=wall-clock
     res = run_throughput(cl, ThroughputConfig(**CFG))
-    wall = time.perf_counter() - t0
+    wall = time.perf_counter() - t0  # simlint: disable=wall-clock
     retx = acks = 0
     for rt in cl.runtimes:
         if rt.rel_stats is not None:

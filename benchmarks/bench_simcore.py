@@ -80,9 +80,9 @@ def bench_retransmit(n_msgs: int, drop: float = 0.01, seed: int = 1) -> dict:
 
     for i in range(n_msgs):
         sim.call_after(i * gap, send, i, 0)
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # simlint: disable=wall-clock
     sim.run()
-    wall = time.perf_counter() - t0
+    wall = time.perf_counter() - t0  # simlint: disable=wall-clock
     return {
         "mode": "retransmit-1pct",
         "n_msgs": n_msgs,
@@ -108,9 +108,9 @@ def bench_hotloop(n_events: int, seed: int = 0) -> dict:
 
     for _ in range(n_procs):
         sim.process(looper())
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # simlint: disable=wall-clock
     sim.run()
-    wall = time.perf_counter() - t0
+    wall = time.perf_counter() - t0  # simlint: disable=wall-clock
     return {
         "mode": "hot-loop",
         "n_procs": n_procs,
@@ -128,9 +128,9 @@ def bench_chaos(quick: bool, seed: int = 1) -> dict:
     ))
     cfg = ThroughputConfig(msg_size=1024, window=32,
                            n_windows=4 if quick else 16)
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # simlint: disable=wall-clock
     res = run_throughput(cl, cfg)
-    wall = time.perf_counter() - t0
+    wall = time.perf_counter() - t0  # simlint: disable=wall-clock
     retx = sum(rt.rel_stats.retransmits for rt in cl.runtimes)
     return {
         "mode": "chaos-macro",
@@ -154,13 +154,13 @@ def main(argv=None) -> int:
     n_retransmit = 20_000 if args.quick else 150_000
     n_hotloop = 40_000 if args.quick else 400_000
 
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # simlint: disable=wall-clock
     rows = [
         bench_retransmit(n_retransmit),
         bench_hotloop(n_hotloop),
         bench_chaos(args.quick),
     ]
-    total_wall = time.perf_counter() - t0
+    total_wall = time.perf_counter() - t0  # simlint: disable=wall-clock
 
     payload = {
         "bench": "sim-core dispatch: cancellation + hot-path accounting",

@@ -1,0 +1,35 @@
+"""repro.check -- correctness tooling for the reproduction.
+
+Two complementary halves, both repo-specific (generic tools cannot know
+that runtime state is sharded into arbitration domains or that the whole
+simulation must stay deterministic):
+
+* **simlint** (:mod:`repro.check.lint`) -- an AST-based static analyzer
+  (``python -m repro lint``) enforcing the coding discipline every perf
+  PR relies on: no unseeded randomness, no wall-clock reads, generator
+  yield discipline, lock acquire/release pairing, ``__slots__``
+  completeness, and valid observability categories.
+* **simsan** (:mod:`repro.check.sanitize`) -- an Eraser-style *runtime*
+  lockset sanitizer (``python -m repro sanitize``): annotated accesses
+  to shared runtime state are checked against the lockset actually held
+  by the executing :class:`~repro.machine.threads.ThreadCtx`, and any
+  access whose candidate lockset goes empty is reported.
+
+Both are observation-only: neither perturbs simulated time, RNG streams
+or the event schedule (pinned by ``tests/check/test_sanitizer.py``).
+"""
+
+from .lint import Finding, LintError, RULES, format_findings, run_lint
+from .sanitize import CellReport, LocksetSanitizer, Violation, sanitize_experiment
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "RULES",
+    "run_lint",
+    "format_findings",
+    "LocksetSanitizer",
+    "Violation",
+    "CellReport",
+    "sanitize_experiment",
+]

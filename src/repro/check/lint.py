@@ -1,0 +1,625 @@
+"""simlint: the repo-specific static analyzer (``python -m repro lint``).
+
+Generic linters cannot know this codebase's contracts; simlint encodes
+them as AST rules (stdlib :mod:`ast`, no new dependencies):
+
+``unseeded-rng``
+    Every stochastic choice must come from a named, seeded stream
+    (:class:`repro.sim.rng.RngStreams`).  Stdlib ``random`` and ad-hoc
+    ``np.random.<fn>`` calls silently break run-to-run determinism; only
+    ``np.random.default_rng(seed)`` / ``SeedSequence`` construction with
+    an explicit seed is allowed.
+``wall-clock``
+    Simulated time is ``sim.now``; reading the host clock
+    (``time.time``, ``datetime.now``, ...) inside the model makes
+    results machine-dependent.
+``yield-discipline``
+    Sim processes are generators that must only yield
+    :class:`~repro.sim.events.Event` values.  Yielding a bare literal is
+    always a bug -- the engine would raise at runtime, but only on the
+    path that executes it.
+``lock-pairing``
+    Every critical-section acquire needs a matching release on all
+    paths: a function that acquires and never releases, or returns
+    between an acquire and the next release (outside a ``try/finally``
+    whose ``finally`` releases), starves every other thread forever.
+``slots-complete``
+    A class that declares ``__slots__`` but assigns an attribute missing
+    from it either crashes (no ``__dict__``) or -- when a base class
+    leaks one -- silently loses the memory win the slots audit bought.
+``obs-category``
+    Observability emit sites must use a category from
+    :data:`repro.obs.events.CATEGORIES`; a typo'd category records
+    nothing and is invisible to every subscriber filter.
+``broad-except``
+    ``except Exception:`` handlers that neither re-raise nor examine the
+    exception swallow model bugs that determinism tests would otherwise
+    surface.
+
+Any finding is suppressible on its line with ``# simlint:
+disable=RULE`` (comma-separated rules, or ``all``).  Suppression is
+line-scoped and rule-scoped by design: blanket waivers hide new bugs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..obs.events import CATEGORIES
+
+__all__ = ["Finding", "LintError", "RULES", "run_lint", "format_findings"]
+
+
+class LintError(RuntimeError):
+    """Lint could not run (bad path, unparseable source)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    out = [f.format() for f in findings]
+    out.append(
+        f"simlint: {len(findings)} finding(s)" if findings else "simlint: clean"
+    )
+    return "\n".join(out)
+
+
+# ======================================================================
+# Per-file context
+# ======================================================================
+
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([\w,\- ]+)")
+
+
+class _Module:
+    """Parsed source plus the line-scoped suppression table."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise LintError(f"{path}: cannot parse: {exc}") from exc
+        #: line number -> set of suppressed rule names (or {"all"}).
+        self.suppressed: Dict[int, set] = {}
+        for i, line in enumerate(source.splitlines(), start=1):
+            m = _SUPPRESS_RE.search(line)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                self.suppressed[i] = rules
+
+    def allows(self, finding: Finding) -> bool:
+        rules = self.suppressed.get(finding.line)
+        if not rules:
+            return True
+        return finding.rule not in rules and "all" not in rules
+
+
+# ======================================================================
+# Shared AST helpers
+# ======================================================================
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` as a string, or None for non-trivial expressions."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# ======================================================================
+# Rules
+# ======================================================================
+
+RuleFn = Callable[[_Module], Iterator[Finding]]
+RULES: Dict[str, RuleFn] = {}
+
+
+def _rule(name: str) -> Callable[[RuleFn], RuleFn]:
+    def deco(fn: RuleFn) -> RuleFn:
+        RULES[name] = fn
+        return fn
+    return deco
+
+
+#: numpy.random constructors that take an explicit seed and are the
+#: sanctioned way to build a generator.
+_SEEDED_NP = frozenset({"SeedSequence", "Generator"})
+
+
+@_rule("unseeded-rng")
+def _check_unseeded_rng(mod: _Module) -> Iterator[Finding]:
+    """no unseeded randomness (stdlib random, bare np.random.*)"""
+    for node in ast.walk(mod.tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            names = (
+                [node.module] if isinstance(node, ast.ImportFrom)
+                else [a.name for a in node.names]
+            )
+            if "random" in names:
+                yield Finding(
+                    mod.path, node.lineno, node.col_offset, "unseeded-rng",
+                    "stdlib random is seeded per-process; draw from a named "
+                    "stream (sim.rng.stream(name)) instead",
+                )
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        f = node.func
+        if not isinstance(f, ast.Attribute):
+            continue
+        v = f.value
+        if isinstance(v, ast.Name) and v.id == "random":
+            yield Finding(
+                mod.path, node.lineno, node.col_offset, "unseeded-rng",
+                f"random.{f.attr}() draws from the process-global stream; "
+                "use sim.rng.stream(name)",
+            )
+        elif (
+            isinstance(v, ast.Attribute)
+            and v.attr == "random"
+            and isinstance(v.value, ast.Name)
+            and v.value.id in ("np", "numpy")
+        ):
+            if f.attr in _SEEDED_NP:
+                continue
+            if f.attr == "default_rng":
+                if node.args or node.keywords:
+                    continue  # default_rng(seed): the sanctioned form
+                yield Finding(
+                    mod.path, node.lineno, node.col_offset, "unseeded-rng",
+                    "np.random.default_rng() without a seed is entropy-"
+                    "seeded; pass an explicit seed",
+                )
+            else:
+                yield Finding(
+                    mod.path, node.lineno, node.col_offset, "unseeded-rng",
+                    f"np.random.{f.attr}() uses the unseeded global "
+                    "generator; use np.random.default_rng(seed) or a named "
+                    "stream",
+                )
+
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "date.today", "datetime.date.today",
+})
+
+
+@_rule("wall-clock")
+def _check_wall_clock(mod: _Module) -> Iterator[Finding]:
+    """no host-clock reads (time.time, datetime.now, ...)"""
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name in _WALL_CLOCK:
+            yield Finding(
+                mod.path, node.lineno, node.col_offset, "wall-clock",
+                f"{name}() reads the host clock; simulated time is sim.now "
+                "(results must not depend on the machine running them)",
+            )
+
+
+def _is_literal_value(node: ast.AST) -> bool:
+    """Literal-ish expressions that can never be a sim Event."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return True
+    if isinstance(node, ast.Dict):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_literal_value(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_literal_value(node.left) and _is_literal_value(node.right)
+    if isinstance(node, ast.JoinedStr):
+        return True
+    return False
+
+
+@_rule("yield-discipline")
+def _check_yield_discipline(mod: _Module) -> Iterator[Finding]:
+    """sim processes must not yield bare literal values"""
+    for fn in _functions(mod.tree):
+        for node in _own_nodes(fn):
+            if not isinstance(node, ast.Yield):
+                continue
+            v = node.value
+            if v is None:
+                # Bare ``yield`` after ``return``: the unreachable
+                # generator-marker idiom (NullLock.acquire).
+                continue
+            if _is_literal_value(v):
+                yield Finding(
+                    mod.path, node.lineno, node.col_offset, "yield-discipline",
+                    f"process {fn.name!r} yields a bare literal; sim "
+                    "processes may only yield Event/Process values",
+                )
+
+
+_ACQUIRE_ATTRS = frozenset({"acquire", "_cs_acquire"})
+_RELEASE_ATTRS = frozenset({"release", "_cs_release"})
+
+
+def _expr_lock_ops(stmt: ast.stmt) -> List[str]:
+    """``"acq"``/``"rel"`` for lock-protocol calls in one *simple*
+    statement (no nested statements), in source order."""
+    ops = []
+    for n in ast.walk(stmt):
+        if isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute):
+            if n.func.attr in _ACQUIRE_ATTRS:
+                ops.append((n.lineno, n.col_offset, "acq"))
+            elif n.func.attr in _RELEASE_ATTRS:
+                ops.append((n.lineno, n.col_offset, "rel"))
+    ops.sort()
+    return [k for _, _, k in ops]
+
+
+class _PairScan:
+    """Branch-aware acquire/release balance over a function body.
+
+    A structural walk, not real data-flow: ``if``/``elif`` branches are
+    evaluated independently and the *maximum* resulting balance
+    survives (both arms of ``if p: acquire(...) else: acquire(...)``
+    count once); a ``try`` whose ``finally`` releases covers returns in
+    its body.  Good enough for this codebase's straight-line lock
+    usage; anything cleverer belongs under a suppression comment.
+    """
+
+    def __init__(self, mod: _Module, fn_name: str):
+        self.mod = mod
+        self.fn_name = fn_name
+        self.findings: List[Finding] = []
+        self.saw_acquire = False
+        self.first_op: Optional[str] = None
+
+    def _note(self, op: str) -> None:
+        if self.first_op is None:
+            self.first_op = op
+        if op == "acq":
+            self.saw_acquire = True
+
+    def scan(self, stmts: Sequence[ast.stmt], bal: int,
+             guarded: bool = False) -> int:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            elif isinstance(stmt, ast.If):
+                b1 = self.scan(stmt.body, bal, guarded)
+                b2 = self.scan(stmt.orelse, bal, guarded)
+                bal = max(b1, b2)
+            elif isinstance(stmt, (ast.For, ast.While)):
+                for op in _expr_lock_ops_iterable(stmt):
+                    self._note(op)
+                    bal = bal + 1 if op == "acq" else max(0, bal - 1)
+                bal = self.scan(stmt.body, bal, guarded)
+                bal = self.scan(stmt.orelse, bal, guarded)
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    for op in _expr_lock_ops(item.context_expr):
+                        self._note(op)
+                        bal = bal + 1 if op == "acq" else max(0, bal - 1)
+                bal = self.scan(stmt.body, bal, guarded)
+            elif isinstance(stmt, ast.Try):
+                releases_in_finally = any(
+                    op == "rel"
+                    for s in stmt.finalbody
+                    for op in _expr_lock_ops(s)
+                )
+                b = self.scan(stmt.body, bal,
+                              guarded or releases_in_finally)
+                for h in stmt.handlers:
+                    b = max(b, self.scan(h.body, bal, guarded))
+                b = self.scan(stmt.orelse, b, guarded)
+                bal = self.scan(stmt.finalbody, b, guarded)
+            elif isinstance(stmt, ast.Return):
+                if bal > 0 and not guarded:
+                    self.findings.append(Finding(
+                        self.mod.path, stmt.lineno, stmt.col_offset,
+                        "lock-pairing",
+                        f"{self.fn_name!r} returns with a lock still held "
+                        "(no release between the acquire and this return)",
+                    ))
+                bal = 0
+            else:
+                for op in _expr_lock_ops(stmt):
+                    self._note(op)
+                    bal = bal + 1 if op == "acq" else max(0, bal - 1)
+        return bal
+
+
+def _expr_lock_ops_iterable(stmt) -> List[str]:
+    """Lock ops in a loop header (iterable/test expression only)."""
+    target = stmt.iter if isinstance(stmt, ast.For) else stmt.test
+    return _expr_lock_ops(target)
+
+
+@_rule("lock-pairing")
+def _check_lock_pairing(mod: _Module) -> Iterator[Finding]:
+    """lock acquire/release pairing on all paths (incl. try/finally)"""
+    for fn in _functions(mod.tree):
+        lowered = fn.name.lower()
+        if "acquire" in lowered or "release" in lowered:
+            # Lock-protocol wrappers legitimately do one half.
+            continue
+        scan = _PairScan(mod, fn.name)
+        bal = scan.scan(fn.body, 0)
+        if not scan.saw_acquire:
+            continue
+        yield from iter(scan.findings)
+        if bal > 0 and scan.first_op != "rel":
+            # release-first functions are re-entry gap wrappers
+            # (release .. work .. acquire); their net +1 is deliberate.
+            yield Finding(
+                mod.path, fn.lineno, fn.col_offset, "lock-pairing",
+                f"{fn.name!r} acquires a lock but never releases it",
+            )
+
+
+def _literal_slots(cls: ast.ClassDef) -> Optional[set]:
+    """The class's own ``__slots__`` names, or None if absent/dynamic."""
+    for stmt in cls.body:
+        targets = []
+        value = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__slots__" for t in targets
+        ):
+            continue
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return {value.value}
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            names = set()
+            for elt in value.elts:
+                if not (
+                    isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                ):
+                    return None  # dynamic slots: not checkable
+                names.add(elt.value)
+            return names
+        return None
+    return None
+
+
+@_rule("slots-complete")
+def _check_slots_complete(mod: _Module) -> Iterator[Finding]:
+    """every self.X assignment covered by __slots__"""
+    classes = {
+        n.name: n for n in ast.walk(mod.tree) if isinstance(n, ast.ClassDef)
+    }
+
+    def slots_chain(cls: ast.ClassDef, seen: set) -> Optional[set]:
+        """Union of slots over the in-module base chain; None when a
+        base is unresolvable (can't prove anything then)."""
+        if cls.name in seen:
+            return set()
+        seen.add(cls.name)
+        own = _literal_slots(cls)
+        if own is None:
+            return None
+        total = set(own)
+        for base in cls.bases:
+            if isinstance(base, ast.Name):
+                if base.id == "object":
+                    continue
+                parent = classes.get(base.id)
+                if parent is None:
+                    return None
+                inherited = slots_chain(parent, seen)
+                if inherited is None:
+                    return None
+                total |= inherited
+            else:
+                return None
+        return total
+
+    for cls in classes.values():
+        if _literal_slots(cls) is None:
+            continue
+        allowed = slots_chain(cls, set())
+        if allowed is None:
+            continue
+        for fn in cls.body:
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not fn.args.args or fn.args.args[0].arg != "self":
+                continue
+            for node in _own_nodes(fn):
+                target = None
+                if isinstance(node, ast.Assign):
+                    for t in node.targets:
+                        if (
+                            isinstance(t, ast.Attribute)
+                            and isinstance(t.value, ast.Name)
+                            and t.value.id == "self"
+                        ):
+                            target = t
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    t = node.target
+                    if (
+                        isinstance(t, ast.Attribute)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == "self"
+                    ):
+                        target = t
+                if target is not None and target.attr not in allowed:
+                    yield Finding(
+                        mod.path, target.lineno, target.col_offset,
+                        "slots-complete",
+                        f"{cls.name}.{target.attr} is assigned but missing "
+                        f"from __slots__",
+                    )
+
+
+_OBS_METHODS = frozenset({
+    "span_begin", "span_end", "async_begin", "async_end",
+    "counter", "instant", "span", "wants",
+})
+#: Receiver identifiers that denote the observability bus.
+_OBS_RECEIVERS = frozenset({"obs", "bus", "instrument"})
+
+
+@_rule("obs-category")
+def _check_obs_category(mod: _Module) -> Iterator[Finding]:
+    """obs emit sites use a category from CATEGORIES"""
+    valid = set(CATEGORIES)
+    for node in ast.walk(mod.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _OBS_METHODS
+        ):
+            continue
+        recv = node.func.value
+        tail = recv.attr if isinstance(recv, ast.Attribute) else (
+            recv.id if isinstance(recv, ast.Name) else None
+        )
+        if tail not in _OBS_RECEIVERS:
+            continue
+        if not node.args:
+            continue
+        cat = node.args[0]
+        if isinstance(cat, ast.Constant) and isinstance(cat.value, str):
+            if cat.value not in valid:
+                yield Finding(
+                    mod.path, cat.lineno, cat.col_offset, "obs-category",
+                    f"unknown obs category {cat.value!r}; valid: "
+                    f"{', '.join(CATEGORIES)}",
+                )
+
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _handler_is_broad(handler: ast.ExceptHandler) -> bool:
+    t = handler.type
+    if t is None:
+        return True
+    if isinstance(t, ast.Name) and t.id in _BROAD:
+        return True
+    if isinstance(t, ast.Tuple):
+        return any(
+            isinstance(e, ast.Name) and e.id in _BROAD for e in t.elts
+        )
+    return False
+
+
+@_rule("broad-except")
+def _check_broad_except(mod: _Module) -> Iterator[Finding]:
+    """broad handlers must re-raise or examine the exception"""
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.ExceptHandler) or not _handler_is_broad(node):
+            continue
+        reraises = any(
+            isinstance(n, ast.Raise) for stmt in node.body for n in ast.walk(stmt)
+        )
+        uses_binding = node.name is not None and any(
+            isinstance(n, ast.Name) and n.id == node.name
+            for stmt in node.body
+            for n in ast.walk(stmt)
+        )
+        if not (reraises or uses_binding):
+            what = (
+                "bare except" if node.type is None
+                else f"except {ast.unparse(node.type)}"
+            )
+            yield Finding(
+                mod.path, node.lineno, node.col_offset, "broad-except",
+                f"{what} swallows the exception (neither re-raised nor "
+                "examined); catch the specific error or handle it",
+            )
+
+
+# ======================================================================
+# Runner
+# ======================================================================
+
+def _iter_py_files(
+    paths: Iterable[str], exclude: Iterable[str] = ()
+) -> Iterator[Path]:
+    skip = [Path(e).resolve() for e in exclude]
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                r = f.resolve()
+                if any(s == r or s in r.parents for s in skip):
+                    continue
+                yield f
+        elif p.is_file():
+            yield p
+        else:
+            raise LintError(f"no such file or directory: {raw}")
+
+
+def run_lint(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    exclude: Iterable[str] = (),
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` with the selected rules
+    (default: all).  Directories named in ``exclude`` are skipped during
+    directory walks (explicit file arguments always lint).  Returns
+    surviving (unsuppressed) findings sorted by location."""
+    if select is None:
+        rules = dict(RULES)
+    else:
+        rules = {}
+        for name in select:
+            if name not in RULES:
+                raise LintError(
+                    f"unknown rule {name!r}; available: {', '.join(sorted(RULES))}"
+                )
+            rules[name] = RULES[name]
+    findings: List[Finding] = []
+    for path in _iter_py_files(paths, exclude):
+        mod = _Module(str(path), path.read_text(encoding="utf-8"))
+        for fn in rules.values():
+            findings.extend(f for f in fn(mod) if mod.allows(f))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

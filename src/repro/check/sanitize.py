@@ -1,0 +1,200 @@
+"""simsan: an Eraser-style runtime lockset sanitizer for shared runtime
+state (``python -m repro sanitize``).
+
+The paper's argument is about *who holds the critical section when*;
+simsan mechanically checks the converse discipline: shared
+``MpiRuntime``/domain state is only ever touched while holding its
+owning :class:`~repro.locks.domain.ArbitrationDomain` lock.
+
+How it works
+------------
+* Lock grant/release (:mod:`repro.locks.base`) maintains
+  ``ThreadCtx.held`` -- the set of :class:`SimLock` objects the thread
+  currently holds.  This costs one ``set.add``/``discard`` per
+  transition and exists whether or not a sanitizer is attached.
+* Annotated access sites in :class:`~repro.mpi.runtime.MpiRuntime` emit
+  a ``check``-category ``san.access`` instant on the obs bus, carrying
+  the state cell name, the held lockset, the cell's declared guard(s)
+  and (for per-request cells) the owning thread.  Emission is gated on
+  ``sim.obs is not None`` so a run without a bus pays one attribute
+  check, and on ``obs.wants("check")`` so a bus without a sanitizer
+  pays one set lookup.  Nothing on this path touches time or RNG:
+  attaching simsan is schedule-neutral (pinned by
+  ``tests/check/test_sanitizer.py``).
+* This class applies the classic Eraser lockset refinement per cell
+  ``(rank, state)``: the candidate lockset starts as the declared
+  guards (or the first access's held set) and is intersected with the
+  held set at each access.  An access that empties the candidate set is
+  a violation -- no single lock protected every access to that cell.
+
+One repo-specific twist: the runtime's documented ownership discipline
+is "any thread may *complete* a request; only the owner frees/observes
+it".  Accesses by a cell's declared owner thread therefore do not
+refine the candidate set -- the owner may touch its own request/queue
+entry lock-free by design, exactly like Eraser's first-thread
+exemption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["LocksetSanitizer", "Violation", "CellReport", "sanitize_experiment"]
+
+#: Cap on stored per-violation detail (counts keep accumulating past it).
+_MAX_STORED = 100
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One access whose candidate lockset went empty."""
+
+    state: str
+    rank: int
+    tid: int
+    time: float
+    held: Tuple[str, ...]
+    guards: Optional[Tuple[str, ...]]
+
+    def format(self) -> str:
+        held = ",".join(self.held) if self.held else "(none)"
+        want = ",".join(self.guards) if self.guards else "(any consistent lock)"
+        return (
+            f"t={self.time:.9f}s rank={self.rank} tid={self.tid} "
+            f"state={self.state}: held={{{held}}} expected={{{want}}}"
+        )
+
+
+@dataclass
+class CellReport:
+    """Per-cell tally for the ranked report."""
+
+    state: str
+    rank: int
+    accesses: int = 0
+    violations: int = 0
+    candidate: Optional[frozenset] = None
+
+
+class LocksetSanitizer:
+    """Subscriber applying Eraser lockset refinement to ``san.access``
+    events.  Attach with :meth:`attach`; read :attr:`violations` /
+    :meth:`report` afterwards."""
+
+    def __init__(self) -> None:
+        #: ``(rank, state) -> CellReport`` (candidate lockset + tallies).
+        self.cells: Dict[Tuple[int, str], CellReport] = {}
+        self.violations: List[Violation] = []
+        self.total_accesses = 0
+        self.total_violations = 0
+        #: Watermark for sub-run detection (see :meth:`_on_event`).
+        self._last_ts = 0.0
+
+    # ------------------------------------------------------------------
+    def attach(self, bus) -> "LocksetSanitizer":
+        """Subscribe to the ``check`` category on ``bus``."""
+        bus.subscribe(self._on_event, categories=("check",))
+        return self
+
+    def _on_event(self, ev) -> None:
+        if ev.name != "san.access":
+            return
+        if ev.ts < self._last_ts:
+            # Simulated time went backwards: the bus was rebound to a
+            # fresh simulator (experiments sweep configurations through
+            # one bus).  Locks -- and so candidate locksets -- do not
+            # survive the boundary; tallies do.
+            for cell in self.cells.values():
+                cell.candidate = None
+        self._last_ts = ev.ts
+        args = ev.args or {}
+        state = args.get("state", "?")
+        held = frozenset(args.get("held", ()))
+        guards = args.get("guards")
+        owner = args.get("owner")
+        key = (ev.rank, state)
+        cell = self.cells.get(key)
+        if cell is None:
+            cell = self.cells[key] = CellReport(state=state, rank=ev.rank)
+        cell.accesses += 1
+        self.total_accesses += 1
+        if owner is not None and owner == ev.tid:
+            # Owner exemption: the documented discipline lets a cell's
+            # owning thread observe/free it lock-free.
+            return
+        if cell.candidate is None:
+            cell.candidate = frozenset(guards) if guards else held
+        cell.candidate = cell.candidate & held
+        if not cell.candidate:
+            cell.violations += 1
+            self.total_violations += 1
+            if len(self.violations) < _MAX_STORED:
+                self.violations.append(
+                    Violation(
+                        state=state,
+                        rank=ev.rank,
+                        tid=ev.tid,
+                        time=ev.ts,
+                        held=tuple(sorted(held)),
+                        guards=tuple(sorted(guards)) if guards else None,
+                    )
+                )
+            # Re-arm so each bad access site reports, instead of one
+            # empty set poisoning every later (possibly correct) access.
+            cell.candidate = frozenset(guards) if guards else None
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return self.total_violations == 0
+
+    def report(self, limit: int = 20) -> str:
+        """Ranked human-readable report: worst cells first."""
+        lines = [
+            f"simsan: {self.total_accesses} annotated accesses across "
+            f"{len(self.cells)} cells, {self.total_violations} violation(s)"
+        ]
+        ranked = sorted(
+            self.cells.values(),
+            key=lambda c: (-c.violations, -c.accesses, c.rank, c.state),
+        )
+        shown = [c for c in ranked if c.violations > 0][:limit]
+        if shown:
+            lines.append("")
+            lines.append(f"{'violations':>10}  {'accesses':>8}  rank  state")
+            for c in shown:
+                lines.append(
+                    f"{c.violations:>10}  {c.accesses:>8}  {c.rank:>4}  {c.state}"
+                )
+            lines.append("")
+            lines.append("first occurrences:")
+            for v in self.violations[:limit]:
+                lines.append("  " + v.format())
+            if self.total_violations > len(self.violations):
+                lines.append(
+                    f"  ... ({self.total_violations - len(self.violations)} more)"
+                )
+        return "\n".join(lines)
+
+
+@dataclass
+class SanitizeResult:
+    """What :func:`sanitize_experiment` hands back to the CLI."""
+
+    name: str
+    sanitizer: LocksetSanitizer
+    result: object = field(repr=False, default=None)
+
+
+def sanitize_experiment(name: str, quick: bool = True, seed: int = 1):
+    """Run one registered experiment under simsan and return a
+    :class:`SanitizeResult`.  Imports are lazy: ``repro.check`` must not
+    drag the whole experiment registry in at lint time."""
+    from ..experiments.registry import run_experiment
+    from ..obs import Instrument
+
+    bus = Instrument()
+    san = LocksetSanitizer().attach(bus)
+    result = run_experiment(name, quick=quick, seed=seed, obs=bus)
+    return SanitizeResult(name=name, sanitizer=san, result=result)

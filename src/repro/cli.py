@@ -10,6 +10,9 @@
     python -m repro locks                    # available locking methods
     python -m repro spec                     # Table 1 machine specification
     python -m repro throughput --lock ticket --threads 8 --size 64
+    python -m repro lint                     # simlint over src/repro
+    python -m repro lint --list-rules        # rule catalogue
+    python -m repro sanitize fig2 --quick    # lockset-sanitize fig2a+fig2b
 """
 
 from __future__ import annotations
@@ -145,6 +148,65 @@ def _cmd_throughput(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .check.lint import RULES, LintError, format_findings, run_lint
+
+    if args.list_rules:
+        rows = []
+        for name, fn in sorted(RULES.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()
+            rows.append([name, doc[0] if doc else ""])
+        print(format_table(["rule", "checks"], rows, title="simlint rules"))
+        return 0
+    paths = args.paths
+    if not paths:
+        # Default target: the package sources, wherever they're installed.
+        import repro
+
+        paths = [str(next(iter(repro.__path__)))]
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+    try:
+        findings = run_lint(paths, select=select, exclude=args.exclude or ())
+    except LintError as exc:
+        print(f"simlint: error: {exc}", file=sys.stderr)
+        return 2
+    print(format_findings(findings))
+    return 1 if findings else 0
+
+
+def _cmd_sanitize(args) -> int:
+    from .check.sanitize import sanitize_experiment
+
+    if args.name == "all":
+        names = list(EXPERIMENTS)
+    else:
+        # Prefix expansion: "fig2" covers fig2a and fig2b.
+        names = [n for n in EXPERIMENTS
+                 if n == args.name or n.startswith(args.name)]
+    if not names:
+        print(f"unknown experiment {args.name!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    bad = []
+    for name in names:
+        out = sanitize_experiment(name, quick=not args.paper, seed=args.seed)
+        san = out.sanitizer
+        print(f"== {name} ==")
+        print(san.report())
+        if not out.result.ok:
+            print(f"shape checks FAILED: {', '.join(out.result.failed_checks())}")
+        print()
+        if not san.ok or not out.result.ok:
+            bad.append(name)
+    if bad:
+        print(f"simsan FAILED for: {', '.join(bad)}", file=sys.stderr)
+        return 1
+    print("simsan: all runs clean")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -206,6 +268,33 @@ def build_parser() -> argparse.ArgumentParser:
                     help="enable the ACK/retransmit reliability layer")
     tp.add_argument("--seed", type=int, default=1)
     tp.set_defaults(fn=_cmd_throughput)
+
+    lint_p = sub.add_parser(
+        "lint", help="run simlint, the repo-specific static analyzer")
+    lint_p.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: the "
+                             "installed repro package sources)")
+    lint_p.add_argument("--exclude", action="append", default=[], metavar="DIR",
+                        help="skip this directory during directory walks "
+                             "(repeatable; e.g. tests/check/fixtures)")
+    lint_p.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated subset of rules to run")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    lint_p.set_defaults(fn=_cmd_lint)
+
+    san_p = sub.add_parser(
+        "sanitize",
+        help="run experiments under simsan, the runtime lockset sanitizer")
+    san_p.add_argument("name",
+                       help="experiment name, prefix ('fig2' = fig2a+fig2b) "
+                            "or 'all'")
+    san_p.add_argument("--quick", action="store_true",
+                       help="reduced sweep sizes (the default; --paper overrides)")
+    san_p.add_argument("--paper", action="store_true",
+                       help="paper-scale parameters (slow)")
+    san_p.add_argument("--seed", type=int, default=1)
+    san_p.set_defaults(fn=_cmd_sanitize)
     return ap
 
 

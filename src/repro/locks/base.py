@@ -169,6 +169,7 @@ class SimLock:
                 f"grant to {ctx.name} while {self.owner.name} holds {self.name}"
             )
         self.owner = ctx
+        ctx.held.add(self)
         self._grant_time = self.sim.now
         if self.trace is not None:
             self.trace.record_grant(self.sim.now, ctx, self._contenders)
@@ -219,6 +220,10 @@ class SimLock:
             obs.span_end("lock", f"{self.name}.hold",
                          rank=own.rank if own.rank is not None else -1,
                          tid=own.tid)
+        # Drop from the *owner's* held set, not the releaser's:
+        # strict_owner=False locks (the priority lock's B ticket) may be
+        # released on another thread's behalf.
+        self.owner.held.discard(self)
         self.owner = None
 
     def __repr__(self) -> str:  # pragma: no cover

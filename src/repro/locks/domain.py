@@ -72,6 +72,11 @@ class ArbitrationDomain:
 
         self.posted_q = PostedQueue()
         self.unexp_q = UnexpectedQueue()
+        # Declare the protection domain: both matching queues may only
+        # be touched while holding this domain's lock (checked by the
+        # simsan lockset sanitizer when one is attached).
+        self.posted_q.guard = lock.name
+        self.unexp_q.guard = lock.name
         #: This domain's NIC slice: the per-VCI receive queue drained by
         #: its progress engine.  Bound by the runtime at construction.
         self.recv_q = recv_q

@@ -21,13 +21,17 @@ _ids = count()
 class ThreadCtx:
     """Identity of one simulated OS thread pinned to a core."""
 
-    __slots__ = ("tid", "core", "name", "rank")
+    __slots__ = ("tid", "core", "name", "rank", "held")
 
     def __init__(self, core: Core, name: str = "", rank: Optional[int] = None):
         self.tid = next(_ids)
         self.core = core
         self.rank = rank
         self.name = name or f"thread{self.tid}"
+        #: Locks currently held by this thread (maintained by
+        #: SimLock._grant/_release_checks; read by the simsan lockset
+        #: sanitizer).  A plain set of SimLock objects.
+        self.held = set()
 
     @property
     def socket(self) -> int:

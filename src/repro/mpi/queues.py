@@ -28,6 +28,11 @@ class PostedQueue:
         self._q: Deque[Request] = deque()
         self.max_len = 0
         self.total_scanned = 0
+        #: Declared protection domain: the name of the lock that must be
+        #: held to touch this queue (set by :class:`ArbitrationDomain`;
+        #: ``None`` = unannotated).  Consumed by the simsan lockset
+        #: sanitizer, never by the model itself.
+        self.guard: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self._q)
@@ -92,6 +97,8 @@ class UnexpectedQueue:
         self.max_len = 0
         self.total_enqueued = 0
         self.total_scanned = 0
+        #: Declared protection domain (see :attr:`PostedQueue.guard`).
+        self.guard: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self._q)

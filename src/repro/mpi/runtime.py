@@ -398,7 +398,11 @@ class MpiRuntime:
         if self.event_driven_wait:
             self._activity.fire()
 
-    def _free(self, req: Request) -> None:
+    def _free(self, req: Request, ctx: Optional[ThreadCtx] = None) -> None:
+        if ctx is not None and self.sim.obs is not None:
+            self._san(ctx, f"requests[{req.req_id}]",
+                      guards=(self.domains[self._route(req.vci)].lock.name,),
+                      owner=req.owner_tid)
         req.mark_freed(self.sim.now)
         self.domains[req.vci].note_free()
         self.dangling_count -= 1
@@ -408,7 +412,13 @@ class MpiRuntime:
             # A spanning wildcard receive was posted to every domain;
             # the claim removed it from the matching one, the rest are
             # cleaned up here (match() skips claimed entries meanwhile).
+            # Owner-only by the documented discipline, hence safe without
+            # the other domains' locks (match() skips claimed entries).
             for i in req.vcis:
+                if ctx is not None and self.sim.obs is not None:
+                    self._san(ctx, f"posted_q.d{i}",
+                              guards=(self.domains[i].posted_q.guard,),
+                              owner=req.owner_tid)
                 self.domains[i].posted_q.discard(req)
         obs = self.sim.obs
         if obs is not None and obs.wants("mpi"):
@@ -417,6 +427,38 @@ class MpiRuntime:
                 obs.counter("mpi", f"dangling.d{req.vci}",
                             self.domains[req.vci].stats.dangling,
                             rank=self.rank)
+
+    def _san(
+        self,
+        ctx: ThreadCtx,
+        state: str,
+        guards: Optional[Tuple[str, ...]] = None,
+        owner: Optional[int] = None,
+    ) -> None:
+        """Emit a ``san.access`` lockset observation for the simsan
+        sanitizer (:mod:`repro.check.sanitize`): this thread touched the
+        shared state cell ``state`` while holding ``ctx.held``.
+
+        ``guards`` names the cell's declared protection domain(s);
+        ``owner`` is the owning tid for per-request cells (the
+        documented discipline lets the owner observe/free its own
+        request lock-free, so owner accesses are exempt from lockset
+        refinement).  Pure observation: no time, no RNG, no state.
+        Call sites gate on ``self.sim.obs is not None`` so a bus-less
+        run pays one attribute check and no call.
+        """
+        obs = self.sim.obs
+        if not obs.wants("check"):
+            return
+        obs.instant(
+            "check", "san.access", rank=self.rank, tid=ctx.tid,
+            args={
+                "state": state,
+                "held": tuple(sorted(lk.name for lk in ctx.held)),
+                "guards": guards,
+                "owner": owner,
+            },
+        )
 
     def _emit_queue_depths(self, dom: ArbitrationDomain) -> None:
         """Sample matching-queue depths (call after any queue mutation)."""
@@ -463,10 +505,16 @@ class MpiRuntime:
         req.vcis = (dom.index,)
         self.requests[req.req_id] = req
         self.stats.sends_issued += 1
+        if self.sim.obs is not None:
+            self._san(ctx, f"requests[{req.req_id}]",
+                      guards=(dom.lock.name,), owner=req.owner_tid)
 
         if protocol is Protocol.RNDV:
             req.mark_pending()
             self._pending_sends[req.req_id] = (req, data)
+            if self.sim.obs is not None:
+                self._san(ctx, f"pending_sends[{req.req_id}]",
+                          guards=(dom.lock.name,), owner=req.owner_tid)
             pkt = Packet(
                 PacketKind.RTS, self.rank, dest, 0,
                 payload=_RndvInfo(env, nbytes, req.req_id, dom.index),
@@ -530,10 +578,18 @@ class MpiRuntime:
             req.vcis = (dom.index,)
             self.requests[req.req_id] = req
             self.stats.recvs_issued += 1
+            if self.sim.obs is not None:
+                self._san(ctx, f"requests[{req.req_id}]",
+                          guards=(dom.lock.name,), owner=req.owner_tid)
+                self._san(ctx, f"unexp_q.d{dom.index}",
+                          guards=(dom.unexp_q.guard,))
 
             msg, scanned = dom.unexp_q.match(env)
             yield self._cs_time(dom, self.costs.queue_scan * scanned)
             if msg is None:
+                if self.sim.obs is not None:
+                    self._san(ctx, f"posted_q.d{dom.index}",
+                              guards=(dom.posted_q.guard,))
                 dom.posted_q.post(req)
             elif msg.rndv:
                 # Rendezvous sender is waiting for clearance.
@@ -569,15 +625,25 @@ class MpiRuntime:
                 req.vcis = tuple(d.index for d in doms)
                 self.requests[req.req_id] = req
                 self.stats.recvs_issued += 1
+                if self.sim.obs is not None:
+                    self._san(ctx, f"requests[{req.req_id}]",
+                              guards=tuple(d.lock.name for d in doms),
+                              owner=req.owner_tid)
             if req.claimed or req.complete:
                 # A packet matched an earlier posting while we walked on.
                 yield from self._cs_release(dom, ctx)
                 break
+            if self.sim.obs is not None:
+                self._san(ctx, f"unexp_q.d{dom.index}",
+                          guards=(dom.unexp_q.guard,))
             msg, scanned = dom.unexp_q.match(env)
             yield self._cs_time(dom, self.costs.queue_scan * scanned)
             if msg is None:
                 # Post before moving to the next domain so an arrival
                 # here is matched, not parked unexpectedly forever.
+                if self.sim.obs is not None:
+                    self._san(ctx, f"posted_q.d{dom.index}",
+                              guards=(dom.posted_q.guard,))
                 dom.posted_q.post(req)
                 self._emit_queue_depths(dom)
                 yield from self._cs_release(dom, ctx)
@@ -616,7 +682,7 @@ class MpiRuntime:
             if i == len(doms) - 1:
                 done = req.complete
                 if done and not req.freed:
-                    self._free(req)
+                    self._free(req, ctx)
             yield from self._cs_release(dom, ctx)
         return done
 
@@ -657,7 +723,7 @@ class MpiRuntime:
             yield from self._cs_acquire(doms[cur], ctx, Priority.LOW)
         for r in reqs:
             if not r.freed:
-                self._free(r)
+                self._free(r, ctx)
         yield from self._cs_release(doms[cur], ctx)
         return [r.data for r in reqs]
 
@@ -678,7 +744,7 @@ class MpiRuntime:
                 if done:
                     for r in reqs:
                         if not r.freed:
-                            self._free(r)
+                            self._free(r, ctx)
             yield from self._cs_release(dom, ctx)
         return done
 
@@ -697,7 +763,7 @@ class MpiRuntime:
             if i == len(doms) - 1:
                 idx = next((j for j, r in enumerate(reqs) if r.complete), None)
                 if idx is not None and not reqs[idx].freed:
-                    self._free(reqs[idx])
+                    self._free(reqs[idx], ctx)
             yield from self._cs_release(dom, ctx)
         return idx
 
@@ -724,7 +790,7 @@ class MpiRuntime:
             yield from self._cs_acquire(doms[cur], ctx, Priority.LOW)
         idx = next(i for i, r in enumerate(reqs) if r.complete)
         if not reqs[idx].freed:
-            self._free(reqs[idx])
+            self._free(reqs[idx], ctx)
         yield from self._cs_release(doms[cur], ctx)
         return idx
 
@@ -750,6 +816,9 @@ class MpiRuntime:
             if i == 0:
                 yield self._cs_time(dom, self.costs.cs_main)
             yield from self._progress_poll(dom, ctx)
+            if self.sim.obs is not None:
+                self._san(ctx, f"unexp_q.d{dom.index}",
+                          guards=(dom.unexp_q.guard,))
             scanned = 0
             for msg in dom.unexp_q._q:
                 scanned += 1
@@ -812,6 +881,8 @@ class MpiRuntime:
         packet was handled."""
         self.stats.progress_polls += 1
         dom.stats.progress_polls += 1
+        if self.sim.obs is not None:
+            self._san(ctx, f"recv_q.d{dom.index}", guards=(dom.lock.name,))
         q = dom.recv_q
         if not q:
             self.stats.empty_polls += 1
@@ -851,6 +922,9 @@ class MpiRuntime:
         kind = pkt.kind
         if kind is PacketKind.EAGER:
             info = pkt.payload
+            if self.sim.obs is not None:
+                self._san(ctx, f"posted_q.d{dom.index}",
+                          guards=(dom.posted_q.guard,))
             req, scanned = dom.posted_q.match(info.envelope)
             yield self._cs_time(dom, self.costs.queue_scan * scanned)
             if req is not None:
@@ -866,6 +940,9 @@ class MpiRuntime:
             else:
                 self.stats.unexpected_hits += 1
                 dom.stats.unexpected_hits += 1
+                if self.sim.obs is not None:
+                    self._san(ctx, f"unexp_q.d{dom.index}",
+                              guards=(dom.unexp_q.guard,))
                 dom.unexp_q.add(
                     UnexpectedMsg(
                         info.envelope, info.nbytes, pkt.src_rank,
@@ -874,6 +951,9 @@ class MpiRuntime:
                 )
         elif kind is PacketKind.RTS:
             info = pkt.payload
+            if self.sim.obs is not None:
+                self._san(ctx, f"posted_q.d{dom.index}",
+                          guards=(dom.posted_q.guard,))
             req, scanned = dom.posted_q.match(info.envelope)
             yield self._cs_time(dom, self.costs.queue_scan * scanned)
             if req is not None:
@@ -886,6 +966,9 @@ class MpiRuntime:
             else:
                 self.stats.unexpected_hits += 1
                 dom.stats.unexpected_hits += 1
+                if self.sim.obs is not None:
+                    self._san(ctx, f"unexp_q.d{dom.index}",
+                              guards=(dom.unexp_q.guard,))
                 dom.unexp_q.add(
                     UnexpectedMsg(
                         info.envelope, info.nbytes, pkt.src_rank,
@@ -895,6 +978,9 @@ class MpiRuntime:
                 )
         elif kind is PacketKind.CTS:
             sender_req_id, recv_req_id, recv_vci = pkt.payload
+            if self.sim.obs is not None:
+                self._san(ctx, f"pending_sends[{sender_req_id}]",
+                          guards=(dom.lock.name,))
             if self._rel is not None:
                 # The CTS acknowledges the RTS; a *duplicate* CTS (the
                 # receiver replayed it for a retried RTS) finds the
@@ -918,6 +1004,15 @@ class MpiRuntime:
         elif kind is PacketKind.RNDV_DATA:
             recv_req_id, data, _sender_vci = pkt.payload
             req = self.requests[recv_req_id]
+            if self.sim.obs is not None:
+                self._san(
+                    ctx, f"requests[{recv_req_id}]",
+                    guards=tuple(
+                        self.domains[self._route(i)].lock.name
+                        for i in req.vcis
+                    ),
+                    owner=req.owner_tid,
+                )
             # Rendezvous lands zero-copy in the user buffer (RDMA write);
             # only the handling cost (already charged) applies.
             req.data = data

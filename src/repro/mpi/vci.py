@@ -79,7 +79,7 @@ CS_POLICY_KINDS: Dict[str, Optional[int]] = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CsPolicy:
     """A resolved domain-mapping policy.
 

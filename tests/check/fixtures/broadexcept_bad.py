@@ -1,0 +1,15 @@
+"""Fixture: swallowing broad handlers simlint must flag."""
+
+
+def swallow_all(fn):
+    try:
+        fn()
+    except Exception:
+        pass
+
+
+def swallow_bare(fn):
+    try:
+        fn()
+    except:  # noqa: E722
+        return None

@@ -1,0 +1,22 @@
+"""Fixture: acceptable exception handling simlint must accept."""
+
+
+def reraises(fn):
+    try:
+        fn()
+    except Exception:
+        raise RuntimeError("wrapped")
+
+
+def examines(fn, log):
+    try:
+        fn()
+    except BaseException as exc:
+        log.append(exc)
+
+
+def narrow(fn):
+    try:
+        fn()
+    except ValueError:
+        pass

@@ -1,0 +1,18 @@
+"""Fixture: unbalanced lock usage simlint must flag."""
+
+
+def leaks_on_return(lock, ctx, cond):
+    yield from lock.acquire(ctx)
+    if cond:
+        return 1
+    lock.release(ctx)
+    return 0
+
+
+def never_unlocks(lock, ctx):
+    yield from lock.acquire(ctx)
+    yield from do_work()
+
+
+def do_work():
+    yield make_event()

@@ -1,0 +1,8 @@
+"""Fixture: invalid obs categories simlint must flag."""
+
+
+def emit(obs, rank):
+    obs.instant("lokc", "oops", rank=rank)
+    obs.counter("network", "depth", 3, rank=rank)
+    if obs.wants("simm"):
+        obs.span_begin("mpii", "cs.main", rank=rank)

@@ -1,0 +1,19 @@
+"""Fixture: valid obs categories simlint must accept."""
+
+
+def emit(obs, bus, rank, cat):
+    obs.instant("lock", "grant", rank=rank)
+    bus.counter("net", "depth", 3, rank=rank)
+    if obs.wants("mpi"):
+        obs.span_begin("mpi", "cs.main", rank=rank)
+    obs.instant(cat, "dynamic-category-not-checkable", rank=rank)
+    # Same method name on a non-bus receiver is out of scope.
+    self_made.instant("whatever", "x")
+
+
+class _Stub:
+    def instant(self, *a, **k):
+        pass
+
+
+self_made = _Stub()

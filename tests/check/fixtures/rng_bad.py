@@ -1,0 +1,12 @@
+"""Fixture: every form of unseeded randomness simlint must flag."""
+import random
+
+import numpy as np
+
+
+def draw():
+    a = random.random()
+    b = random.randint(0, 7)
+    c = np.random.rand(3)
+    d = np.random.default_rng()
+    return a, b, c, d

@@ -1,0 +1,9 @@
+"""Fixture: sanctioned randomness simlint must accept."""
+import numpy as np
+
+
+def draw(sim, seed):
+    rng = sim.rng.stream("workload")
+    gen = np.random.default_rng(seed)
+    ss = np.random.SeedSequence(seed)
+    return rng.random(), gen.random(), ss

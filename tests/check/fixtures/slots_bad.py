@@ -1,0 +1,18 @@
+"""Fixture: __slots__ gaps simlint must flag."""
+
+
+class Leaky:
+    __slots__ = ("a", "b")
+
+    def __init__(self):
+        self.a = 1
+        self.b = 2
+        self.c = 3
+
+
+class Child(Leaky):
+    __slots__ = ("d",)
+
+    def reset(self):
+        self.d = 0
+        self.extra = None

@@ -1,0 +1,31 @@
+"""Fixture: complete __slots__ simlint must accept."""
+
+
+class Tight:
+    __slots__ = ("a", "b")
+
+    def __init__(self):
+        self.a = 1
+        self.b = 2
+
+
+class Child(Tight):
+    __slots__ = ("c",)
+
+    def __init__(self):
+        super().__init__()
+        self.c = 3
+        self.a += 1
+
+
+class NoSlots:
+    def __init__(self):
+        self.anything = True
+
+
+class DynamicSlots:
+    # Unresolvable slots: the rule must stay silent, not guess.
+    __slots__ = tuple("xy")
+
+    def __init__(self):
+        self.z = 1

@@ -1,0 +1,12 @@
+"""Fixture: every violation here carries a suppression comment."""
+import time
+
+
+def stamp():
+    t0 = time.time()  # simlint: disable=wall-clock
+    t1 = time.perf_counter()  # simlint: disable=all
+    return t0, t1
+
+
+def bad_yield():
+    yield 42  # simlint: disable=yield-discipline

@@ -1,0 +1,10 @@
+"""Fixture: host-clock reads simlint must flag."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    t0 = time.time()
+    t1 = time.perf_counter()
+    t2 = datetime.now()
+    return t0, t1, t2

@@ -1,0 +1,7 @@
+"""Fixture: simulated-clock reads simlint must accept."""
+
+
+def stamp(sim):
+    t0 = sim.now
+    yield sim.timeout(1e-6)
+    return sim.now - t0

@@ -1,0 +1,7 @@
+"""Fixture: literal-value yields simlint must flag."""
+
+
+def bad_process(sim):
+    yield 42
+    yield "not an event"
+    yield (1, 2)

@@ -1,0 +1,139 @@
+"""simlint: every rule has a fixture that triggers it and one that
+passes, plus suppression and CLI exit-code coverage."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.lint import RULES, LintError, format_findings, run_lint
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule -> (fixture that must trigger it, fixture that must not).
+RULE_FIXTURES = {
+    "unseeded-rng": ("rng_bad.py", "rng_good.py"),
+    "wall-clock": ("wallclock_bad.py", "wallclock_good.py"),
+    "yield-discipline": ("yield_bad.py", "yield_good.py"),
+    "lock-pairing": ("lockpair_bad.py", "lockpair_good.py"),
+    "slots-complete": ("slots_bad.py", "slots_good.py"),
+    "obs-category": ("obscat_bad.py", "obscat_good.py"),
+    "broad-except": ("broadexcept_bad.py", "broadexcept_good.py"),
+}
+
+
+def test_every_rule_has_fixtures():
+    assert set(RULE_FIXTURES) == set(RULES)
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+def test_rule_triggers_on_bad_fixture(rule):
+    bad, _good = RULE_FIXTURES[rule]
+    findings = run_lint([str(FIXTURES / bad)], select=[rule])
+    assert findings, f"{rule} missed every violation in {bad}"
+    assert all(f.rule == rule for f in findings)
+
+
+@pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+def test_rule_passes_on_good_fixture(rule):
+    _bad, good = RULE_FIXTURES[rule]
+    findings = run_lint([str(FIXTURES / good)], select=[rule])
+    assert findings == [], format_findings(findings)
+
+
+def test_bad_fixtures_trigger_only_their_own_rule():
+    # Cross-check: running ALL rules over a bad fixture must not drag
+    # in findings from unrelated rules (rule independence).
+    for rule, (bad, _good) in RULE_FIXTURES.items():
+        findings = run_lint([str(FIXTURES / bad)])
+        rules_hit = {f.rule for f in findings}
+        assert rule in rules_hit
+        assert rules_hit <= {rule}, (
+            f"{bad} unexpectedly triggered {rules_hit - {rule}}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Details the fixtures pin down
+# ----------------------------------------------------------------------
+def test_lockpair_reports_both_shapes():
+    findings = run_lint([str(FIXTURES / "lockpair_bad.py")])
+    msgs = " | ".join(f.message for f in findings)
+    assert "returns with a lock still held" in msgs
+    assert "never releases" in msgs
+    assert len(findings) == 2
+
+
+def test_slots_names_the_missing_attribute():
+    findings = run_lint([str(FIXTURES / "slots_bad.py")])
+    flagged = {f.message.split()[0] for f in findings}
+    assert flagged == {"Leaky.c", "Child.extra"}
+
+
+def test_suppression_comments_silence_findings():
+    findings = run_lint([str(FIXTURES / "suppressed.py")])
+    assert findings == [], format_findings(findings)
+
+
+def test_suppression_is_rule_scoped():
+    # The same violations *without* the matching rule selected-out
+    # would fire: prove the comments are doing the silencing.
+    src = (FIXTURES / "suppressed.py").read_text()
+    assert src.count("simlint: disable") == 3
+    stripped = FIXTURES / "_stripped_tmp.py"
+    try:
+        stripped.write_text(
+            "\n".join(line.split("#")[0] for line in src.splitlines())
+        )
+        findings = run_lint([str(stripped)])
+        assert {f.rule for f in findings} == {"wall-clock", "yield-discipline"}
+    finally:
+        stripped.unlink()
+
+
+def test_unknown_rule_raises():
+    with pytest.raises(LintError, match="unknown rule"):
+        run_lint([str(FIXTURES / "rng_good.py")], select=["no-such-rule"])
+
+
+def test_bad_path_raises():
+    with pytest.raises(LintError, match="no such file"):
+        run_lint([str(FIXTURES / "missing.py")])
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_lint_clean_tree_exits_zero():
+    import repro
+
+    src_root = str(next(iter(repro.__path__)))
+    assert main(["lint", src_root]) == 0
+
+
+def test_cli_lint_findings_exit_one(capsys):
+    assert main(["lint", str(FIXTURES / "rng_bad.py")]) == 1
+    out = capsys.readouterr().out
+    assert "unseeded-rng" in out
+
+
+def test_cli_lint_select(capsys):
+    path = str(FIXTURES / "rng_bad.py")
+    assert main(["lint", path, "--select", "wall-clock"]) == 0
+    assert main(["lint", path, "--select", "bogus"]) == 2
+
+
+def test_cli_lint_exclude_skips_directory(capsys):
+    # tests/check contains the deliberately-bad fixtures; excluding the
+    # fixtures dir must leave the tree clean (this is how CI lints tests/).
+    root = str(FIXTURES.parent)
+    assert main(["lint", root]) == 1
+    capsys.readouterr()
+    assert main(["lint", root, "--exclude", str(FIXTURES)]) == 0
+
+
+def test_cli_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule in out

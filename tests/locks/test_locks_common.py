@@ -81,7 +81,7 @@ def test_double_acquire_by_same_thread_raises(kind, sim, machine, costs):
     (t,) = make_threads(machine, 1)
     caught = []
 
-    def holder():
+    def holder():  # simlint: disable=lock-pairing (deliberate double acquire)
         yield from lock.acquire(t)
         try:
             yield from lock.acquire(t)

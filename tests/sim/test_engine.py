@@ -169,7 +169,7 @@ def test_yielding_non_event_raises():
     sim = Simulator()
 
     def bad():
-        yield 42
+        yield 42  # simlint: disable=yield-discipline (the point of this test)
 
     sim.process(bad())
     with pytest.raises(SimulationError, match="only Event"):
