@@ -35,6 +35,14 @@ them as AST rules (stdlib :mod:`ast`, no new dependencies):
     ``except Exception:`` handlers that neither re-raise nor examine the
     exception swallow model bugs that determinism tests would otherwise
     surface.
+``queue-encapsulation``
+    The simulator's event queue is pluggable
+    (:mod:`repro.sim.equeue`); only the engine and the queue
+    implementations themselves may import :mod:`heapq` or touch queue
+    internals (``sim._heap``-era attributes, bucket state, the free
+    pool).  Everything else goes through the :class:`EventQueue`
+    interface and the ``Simulator`` properties, or the calendar queue
+    silently diverges from the heap.
 
 Any finding is suppressible on its line with ``# simlint:
 disable=RULE`` (comma-separated rules, or ``all``).  Suppression is
@@ -573,6 +581,85 @@ def _check_broad_except(mod: _Module) -> Iterator[Finding]:
                 f"{what} swallows the exception (neither re-raised nor "
                 "examined); catch the specific error or handle it",
             )
+
+
+#: Files allowed to import heapq / touch queue internals: the engine,
+#: the queue implementations, and the event primitives (whose
+#: trigger-time scheduling is deliberately inlined into the push fast
+#: path).
+_QUEUE_WHITELIST = (
+    "repro/sim/engine.py",
+    "repro/sim/equeue.py",
+    "repro/sim/events.py",
+)
+
+#: Attribute names that are queue internals wherever they appear
+#: (heap array, calendar bucket state).
+_QUEUE_PRIVATE_ANY = frozenset({
+    "_heap", "_buckets", "_inv_width", "_grow_at",
+})
+
+#: Attribute names that are queue internals only on a simulator or
+#: queue receiver (generic enough to exist on unrelated classes).
+_QUEUE_PRIVATE_SIM = frozenset({
+    "_dead", "_pool", "_push", "_seq", "_cur", "_width", "_count",
+})
+
+#: Receiver spellings that denote the simulator or its queue.
+_QUEUE_RECEIVERS = frozenset({"sim", "queue", "q", "equeue"})
+
+
+@_rule("queue-encapsulation")
+def _check_queue_encapsulation(mod: _Module) -> Iterator[Finding]:
+    """queue internals stay behind the EventQueue interface"""
+    path = mod.path.replace("\\", "/")
+    if path.endswith(_QUEUE_WHITELIST):
+        return
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "heapq":
+                    yield Finding(
+                        mod.path, node.lineno, node.col_offset,
+                        "queue-encapsulation",
+                        "heapq import outside the sim engine: the event "
+                        "queue is pluggable, schedule through "
+                        "Simulator/EventQueue instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "heapq":
+                yield Finding(
+                    mod.path, node.lineno, node.col_offset,
+                    "queue-encapsulation",
+                    "heapq import outside the sim engine: the event "
+                    "queue is pluggable, schedule through "
+                    "Simulator/EventQueue instead",
+                )
+        elif isinstance(node, ast.Attribute):
+            attr = node.attr
+            if attr in _QUEUE_PRIVATE_ANY:
+                yield Finding(
+                    mod.path, node.lineno, node.col_offset,
+                    "queue-encapsulation",
+                    f"direct access to queue internal {attr!r}; use the "
+                    "EventQueue interface (push/pop/pop_batch/stats) or "
+                    "the Simulator accounting properties",
+                )
+            elif attr in _QUEUE_PRIVATE_SIM:
+                recv = node.value
+                tail = (
+                    recv.attr if isinstance(recv, ast.Attribute)
+                    else recv.id if isinstance(recv, ast.Name)
+                    else None
+                )
+                if tail in _QUEUE_RECEIVERS:
+                    yield Finding(
+                        mod.path, node.lineno, node.col_offset,
+                        "queue-encapsulation",
+                        f"direct access to {tail}.{attr}: queue and pool "
+                        "internals are private to the sim engine; use the "
+                        "EventQueue interface or Simulator properties",
+                    )
 
 
 # ======================================================================

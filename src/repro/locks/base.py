@@ -78,6 +78,8 @@ class SimLock:
         # experiment results must not depend on what ran earlier in the
         # process.
         self._rng = sim.rng.stream(f"lock:{self.name}")
+        #: Batched jitter draws, consumed back to front (see _jitter).
+        self._jitter_cache: List[float] = []
 
     # ------------------------------------------------------------------
     # Protocol to implement
@@ -117,17 +119,26 @@ class SimLock:
             return 1.0
         pen = self.costs.contention_penalty
         remote = self.costs.contention_remote_factor
+        owner_socket = owner.socket
         f = 1.0
         for c in self._contenders.values():
-            f += pen * (remote if c.socket != owner.socket else 1.0)
+            f += pen * (remote if c.socket != owner_socket else 1.0)
         return f
 
     def _jitter(self) -> float:
-        """Exponential jitter on atomic-op completion, in seconds."""
+        """Exponential jitter on atomic-op completion, in seconds.
+
+        Draws are batched: numpy fills a vectorized request from the
+        same bit stream element by element, so refilling 256 at a time
+        yields exactly the sequence of repeated scalar draws while
+        paying the numpy call overhead once per refill."""
         scale = self.costs.jitter_ns
         if scale <= 0.0:
             return 0.0
-        return float(self._rng.exponential(scale)) * NS
+        cache = self._jitter_cache
+        if not cache:
+            cache[:] = self._rng.exponential(scale, 256)[::-1].tolist()
+        return cache.pop() * NS
 
     def _atomic_cost(self, core: Core) -> float:
         """Atomic RMW latency for ``core``, moving the line to it."""

@@ -21,7 +21,7 @@ _ids = count()
 class ThreadCtx:
     """Identity of one simulated OS thread pinned to a core."""
 
-    __slots__ = ("tid", "core", "name", "rank", "held")
+    __slots__ = ("tid", "core", "name", "rank", "held", "socket")
 
     def __init__(self, core: Core, name: str = "", rank: Optional[int] = None):
         self.tid = next(_ids)
@@ -32,10 +32,9 @@ class ThreadCtx:
         #: SimLock._grant/_release_checks; read by the simsan lockset
         #: sanitizer).  A plain set of SimLock objects.
         self.held = set()
-
-    @property
-    def socket(self) -> int:
-        return self.core.socket
+        #: Cached from the pinned core: threads never migrate, and the
+        #: contention model reads this on every acquire.
+        self.socket = core.socket
 
     def proximity(self, other: "ThreadCtx") -> Proximity:
         return self.core.proximity(other.core)

@@ -55,7 +55,7 @@ class Request:
         "req_id", "kind", "rank", "owner_tid", "envelope", "nbytes",
         "state", "protocol", "unexpected", "data",
         "t_issued", "t_completed", "t_freed", "peer",
-        "vci", "vcis", "claimed", "error",
+        "vci", "vcis", "claimed", "error", "_done",
     )
 
     def __init__(
@@ -102,11 +102,15 @@ class Request:
         #: exhausted: the request is *completed* (so waiters unblock)
         #: but the transfer failed.
         self.error = False
+        #: Cached COMPLETE-or-FREED flag: wait loops poll ``complete``
+        #: once per request per progress gap, so it must be a plain
+        #: attribute read, not an enum comparison.
+        self._done = False
 
     # ------------------------------------------------------------------
     @property
     def complete(self) -> bool:
-        return self.state in (ReqState.COMPLETE, ReqState.FREED)
+        return self._done
 
     @property
     def freed(self) -> bool:
@@ -132,9 +136,10 @@ class Request:
         self.state = ReqState.PENDING
 
     def mark_complete(self, now: float) -> None:
-        if self.complete:
+        if self._done:
             raise RequestError(f"request {self.req_id} completed twice")
         self.state = ReqState.COMPLETE
+        self._done = True
         self.t_completed = now
 
     def mark_freed(self, now: float) -> None:

@@ -701,9 +701,14 @@ class MpiRuntime:
         cur = 0
         yield from self._cs_acquire(doms[cur], ctx, Priority.HIGH)
         yield self._cs_time(doms[cur], self.costs.cs_main)
-        while not all(r.complete for r in reqs):
+        # Completion polling is the workloads' inner loop: track only the
+        # still-incomplete requests and read the cached ``_done`` flag
+        # directly rather than re-scanning the full set each gap.
+        pending = [r for r in reqs if not r._done]
+        while pending:
             yield from self._progress_poll(doms[cur], ctx)
-            if all(r.complete for r in reqs):
+            pending = [r for r in pending if not r._done]
+            if not pending:
                 break
             # CS_YIELD: let other threads at the runtime, come back at
             # progress-loop (LOW) priority.  The gap is jittered: real
@@ -721,6 +726,9 @@ class MpiRuntime:
                 yield self.sim.timeout(gap)
             cur = (cur + 1) % len(doms)
             yield from self._cs_acquire(doms[cur], ctx, Priority.LOW)
+            # Another thread's progress may have completed the rest
+            # while this one sat in the gap / lock queue.
+            pending = [r for r in pending if not r._done]
         for r in reqs:
             if not r.freed:
                 self._free(r, ctx)

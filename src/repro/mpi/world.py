@@ -38,7 +38,7 @@ from ..machine import (
 )
 from ..network import Fabric, NetworkConfig
 from ..obs import Instrument
-from ..sim import Simulator
+from ..sim import SCHEDULERS, Simulator
 from .collectives import Communicator
 from .runtime import MpiRuntime, MpiThread
 from .vci import CsGranularity, CsPolicy, parse_cs_policy
@@ -63,6 +63,12 @@ class ClusterConfig:
     lock: str = "mutex"
     binding: str = "compact"
     seed: int = 0
+    #: Simulator event-queue implementation (see
+    #: :data:`repro.sim.SCHEDULERS`): "heap" (default, bit-identity
+    #: reference) or "calendar" (batched bucket queue for long runs).
+    #: Both produce identical schedules; the choice is purely a
+    #: wall-clock trade.
+    scheduler: str = "heap"
     costs: CostModel = field(default_factory=CostModel)
     net: NetworkConfig = field(default_factory=NetworkConfig)
     machine_spec: MachineSpec = field(default_factory=MachineSpec)
@@ -106,6 +112,11 @@ class ClusterConfig:
                 f"unknown binding {self.binding!r}; valid bindings: "
                 f"{', '.join(sorted(BINDINGS))}"
             )
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; valid schedulers: "
+                f"{', '.join(sorted(SCHEDULERS))}"
+            )
         self.cs_granularity = CsGranularity.parse(self.cs_granularity)
         self.cs = parse_cs_policy(self.cs, n_ranks=self.n_ranks)
         if isinstance(self.faults, str):
@@ -139,7 +150,7 @@ class Cluster:
                 f"unknown binding {config.binding!r}; expected one of {sorted(BINDINGS)}"
             )
         self.config = config
-        self.sim = Simulator(seed=config.seed)
+        self.sim = Simulator(seed=config.seed, scheduler=config.scheduler)
         if config.obs is not None:
             # Single attach point: everything holding this sim emits
             # through sim.obs.  Rebinding is deliberate -- sweep

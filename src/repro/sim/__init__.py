@@ -14,6 +14,7 @@ Public surface::
 """
 
 from .engine import SimulationError, Simulator
+from .equeue import SCHEDULERS, CalendarQueue, EventQueue, HeapQueue, make_queue
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Interrupt, Process
 from .rng import RngStreams, stable_hash
@@ -22,6 +23,11 @@ from .sync import Mailbox, Signal, SimBarrier, SimSemaphore
 __all__ = [
     "Simulator",
     "SimulationError",
+    "EventQueue",
+    "HeapQueue",
+    "CalendarQueue",
+    "SCHEDULERS",
+    "make_queue",
     "Event",
     "Timeout",
     "AnyOf",

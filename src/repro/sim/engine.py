@@ -1,35 +1,51 @@
 """The discrete-event simulator core.
 
-:class:`Simulator` owns the event heap and the simulated clock.  All
+:class:`Simulator` owns the simulated clock and an
+:class:`~repro.sim.equeue.EventQueue` holding the pending events.  All
 behaviour in the reproduction -- threads contending on locks, the MPI
 progress engine, network packet delivery -- is expressed as processes and
 events scheduled here.  Time is a ``float`` in **seconds**; the calibrated
 cost model works at nanosecond scale (1e-9).
 
+The queue is pluggable (``Simulator(scheduler="heap"|"calendar")``, see
+:mod:`repro.sim.equeue`); every implementation honours the same
+``(time, seq)`` total order, so the dispatch schedule -- and therefore
+every bit-identity pin in the test suite -- is independent of the queue
+chosen.  The run loops pull *batches* of same-timestamp entries and
+dispatch them in one tight loop, and dispatched :class:`Timeout` objects
+are recycled through a small free pool when provably unreferenced, so
+the per-event Python overhead is paid once per batch where possible.
+
 Cancelled events (:meth:`~repro.sim.events.Event.cancel`) are deleted
-*lazily*: the heap entry stays where it is, is skipped at pop time without
-being dispatched, and a compaction sweep rebuilds the heap in place once
-more than half of it is dead.  Skipping is schedule-neutral -- the heap is
-totally ordered by ``(time, seq)``, so live events dispatch at exactly the
-times and in exactly the order they would have without any cancellations.
+*lazily*: the queue entry stays where it is, is skipped at pop time
+without being dispatched, and a compaction sweep rebuilds the queue in
+place once more than half of it is dead.  Skipping is schedule-neutral
+-- live events dispatch at exactly the times and in exactly the order
+they would have without any cancellations.
 """
 
 from __future__ import annotations
 
-import heapq
 from itertools import count
+from sys import getrefcount as _getrefcount
 from typing import Any, Callable, Generator, Optional
 
+from .equeue import _COMPACT_MIN_DEAD as _COMPACT_MIN_DEAD  # re-export, tests
+from .equeue import EventQueue, SCHEDULERS, make_queue
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process
 from .rng import RngStreams
 
-__all__ = ["Simulator", "SimulationError"]
+__all__ = ["Simulator", "SimulationError", "EventQueue", "SCHEDULERS"]
 
-#: Lazy-deletion compaction gate: never rebuild a heap carrying fewer dead
-#: entries than this, however high the dead fraction (tiny heaps are
-#: cheaper to drain than to rebuild).
-_COMPACT_MIN_DEAD = 64
+#: Free-pool cap: enough to absorb the working set of in-flight timers
+#: in the macro workloads without pinning unbounded garbage.
+_POOL_MAX = 512
+
+#: A dispatched Timeout reachable only from the batch entry, the loop
+#: local and the getrefcount argument itself is provably dropped by all
+#: user code and safe to recycle.
+_POOL_REFS = 3
 
 
 class SimulationError(RuntimeError):
@@ -37,7 +53,9 @@ class SimulationError(RuntimeError):
 
 
 class Simulator:
-    """Event heap + clock + factory for events and processes.
+    """Event queue + clock + factory for events and processes.
+
+    Construction is keyword-only.
 
     Parameters
     ----------
@@ -45,11 +63,20 @@ class Simulator:
         Master seed for the named RNG streams (see :class:`RngStreams`).
         Two simulators constructed with the same seed and driven by the
         same (deterministic) model produce bit-identical traces.
+    scheduler:
+        Event-queue implementation: a name from
+        :data:`~repro.sim.equeue.SCHEDULERS` (``"heap"``, the default
+        and bit-identity reference, or ``"calendar"``) or a
+        pre-constructed :class:`EventQueue`.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, *, seed: int = 0, scheduler="heap"):
         self.now: float = 0.0
-        self._heap: list = []
+        self.queue: EventQueue = make_queue(scheduler)
+        #: Bound ``queue.push``, cached: scheduling happens several times
+        #: per dispatched event, and the queue never changes after
+        #: construction.
+        self._push = self.queue.push
         self._seq = count()
         self._active_process: Optional[Process] = None
         self._crashed: list = []
@@ -59,16 +86,17 @@ class Simulator:
         #: this single attach point; ``None`` means instrumentation is
         #: disabled and costs one attribute check.
         self.obs = None
-        #: Cancelled entries currently sitting on the heap (lazy deletion).
-        self._dead = 0
         #: Live events dispatched (popped and their callbacks run).
         self.dispatched = 0
-        #: Cancelled entries removed without dispatch (pop-time skips plus
-        #: compaction sweeps) -- each one is a dispatch the old
-        #: fire-and-filter timer scheme would have paid for.
-        self.skipped = 0
-        #: In-place heap rebuilds triggered by the >50%-dead threshold.
-        self.compactions = 0
+        #: Timeout objects served from the free pool instead of being
+        #: allocated (see the pooling notes in DESIGN.md section 9).
+        self.pool_hits = 0
+        #: Batch entries extracted but not yet dispatched.  Nonzero only
+        #: while a run loop is inside a batch; ``queued_events`` folds it
+        #: back in so callbacks (e.g. the progress watchdog's idle
+        #: check) see their same-timestamp siblings as still pending.
+        self._inflight = 0
+        self._pool: list = []
 
     # ------------------------------------------------------------------
     # Factories
@@ -78,7 +106,22 @@ class Simulator:
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
-        """Create an event that fires after ``delay`` seconds."""
+        """Create an event that fires after ``delay`` seconds.
+
+        Served from the free pool when possible: a recycled Timeout is
+        indistinguishable from a fresh one (same ``(time, seq)`` key
+        allocation, reset state), so pooling is schedule-neutral.
+        """
+        pool = self._pool
+        if pool and delay >= 0.0:
+            ev = pool.pop()
+            ev.name = name
+            ev.delay = delay
+            ev._value = value
+            ev._triggered = False
+            self._push(self.now + delay, next(self._seq), ev)
+            self.pool_hits += 1
+            return ev
         return Timeout(self, delay, value=value, name=name)
 
     def process(self, gen: Generator, name: str = "") -> Process:
@@ -100,30 +143,18 @@ class Simulator:
         Returns the underlying :class:`Timeout` as a cancellable handle:
         ``handle.cancel()`` guarantees ``fn`` never runs (a no-op if the
         timer already fired)."""
-        ev = Timeout(self, delay)
-        ev.add_callback(lambda _ev: fn(*args))
+        ev = self.timeout(delay)
+        ev.callbacks.append(lambda _ev: fn(*args))
         return ev
 
     # ------------------------------------------------------------------
     # Scheduling internals
     # ------------------------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+        self._push(self.now + delay, next(self._seq), event)
 
     def _note_cancelled(self) -> None:
-        """Account a cancelled heap entry; compact when >50% is dead.
-
-        The rebuild mutates ``self._heap`` *in place* (slice assignment +
-        heapify) because the run loops hold a local reference to the list.
-        """
-        self._dead += 1
-        heap = self._heap
-        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 > len(heap):
-            heap[:] = [entry for entry in heap if not entry[2]._cancelled]
-            heapq.heapify(heap)
-            self.skipped += self._dead
-            self.compactions += 1
-            self._dead = 0
+        self.queue.note_cancelled()
 
     def _crash(self, process: Process, exc: BaseException) -> None:
         self._crashed.append((process, exc))
@@ -134,18 +165,22 @@ class Simulator:
             f"process {process.name!r} died at t={self.now:.9f}s: {exc!r}"
         ) from exc
 
+    def _abort_batch(self, batch: list, n: int) -> None:
+        """Hand the undispatched tail of ``batch`` back to the queue
+        (early stop: the until-event fired or a process crashed)."""
+        rest = self._inflight
+        if rest:
+            self.queue.requeue(batch[n - rest:])
+            self.dispatched -= rest
+            self._inflight = 0
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Dispatch the next live event, skipping cancelled entries.
-        Raises IndexError if no live event remains on the heap."""
-        heap = self._heap
-        when, _seq, event = heapq.heappop(heap)
-        while event._cancelled:
-            self._dead -= 1
-            self.skipped += 1
-            when, _seq, event = heapq.heappop(heap)
+        Raises IndexError if no live event remains in the queue."""
+        when, _seq, event = self.queue.pop()
         self.now = when
         self.dispatched += 1
         obs = self.obs
@@ -155,105 +190,187 @@ class Simulator:
         if self._crashed:
             self._raise_crash()
 
+    def _dispatch_batch_slow(self, batch: list, obs, stop: Optional[Event]) -> None:
+        """Instrumented batch dispatch: per-event obs instants, no
+        pooling.  Books and schedule match the fast loop exactly,
+        including the early-out when ``stop`` fires mid-batch."""
+        q = self.queue
+        n = len(batch)
+        for entry in batch:
+            self._inflight -= 1
+            event = entry[2]
+            if event._cancelled:
+                self.dispatched -= 1
+                q.skip_inflight()
+                continue
+            if event.name and obs.wants("sim"):
+                obs.instant("sim", "dispatch", args={"event": event.name})
+            event._process()
+            if self._crashed:
+                self._abort_batch(batch, n)
+                self._raise_crash()
+            if stop is not None and stop.callbacks is None:
+                self._abort_batch(batch, n)
+                return
+
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run the simulation.
 
         Parameters
         ----------
         until:
-            ``None``   -- run until no live event remains on the heap.
+            ``None``   -- run until no live event remains in the queue.
             ``float``  -- run until the clock reaches this time.
             ``Event``  -- run until this event has been processed and
             return its value (raising if it failed).
 
-        The ``None`` and ``float`` forms inline the dispatch loop (no
-        per-event ``step()`` call): this is the simulator's hot path.
+        All forms share one inlined loop dispatching batches of
+        same-timestamp events -- this is the simulator's hot path.  A
+        singleton batch (the common case in the MPI workloads) skips the
+        in-flight bookkeeping entirely: with no same-timestamp sibling,
+        nothing can cancel the event between extraction and dispatch.
         """
-        if until is None:
-            heap = self._heap
-            pop = heapq.heappop
-            while len(heap) > self._dead:
-                when, _seq, event = pop(heap)
-                if event._cancelled:
-                    self._dead -= 1
-                    self.skipped += 1
-                    continue
-                self.now = when
-                self.dispatched += 1
+        stop: Optional[Event] = None
+        horizon: Optional[float] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.callbacks is not None:
+                    # Register interest so a failing process delivers
+                    # its exception here rather than crashing the loop.
+                    stop.add_callback(_consume)
+            else:
+                horizon = float(until)
+                if horizon < self.now:
+                    raise ValueError(
+                        f"cannot run until {horizon} < now ({self.now})"
+                    )
+
+        q = self.queue
+        pop_batch = q.pop_batch
+        pool = self._pool
+        pool_append = pool.append
+        getrc = _getrefcount
+
+        while stop is None or stop.callbacks is not None:
+            batch = pop_batch(horizon)
+            if batch is None:
+                if stop is not None:
+                    raise SimulationError(
+                        f"simulation ran out of events before {stop!r} "
+                        f"fired (deadlock?)"
+                    )
+                if horizon is not None:
+                    self.now = horizon
+                return None
+            if type(batch) is tuple:
+                # Singleton batch, returned as a bare entry.
+                self.now = batch[0]
                 obs = self.obs
-                if obs is not None and event.name and obs.wants("sim"):
-                    obs.instant("sim", "dispatch", args={"event": event.name})
-                event._process()
+                if obs is not None and obs.wants("sim"):
+                    self.dispatched += 1
+                    self._inflight = 1
+                    self._dispatch_batch_slow([batch], obs, stop)
+                    continue
+                event = batch[2]
+                self.dispatched += 1
+                event._triggered = True
+                callbacks = event.callbacks
+                event.callbacks = None
+                for cb in callbacks:
+                    cb(event)
                 if self._crashed:
                     self._raise_crash()
-            if heap:
-                # Only cancelled entries remain: drop them wholesale.
-                self.skipped += len(heap)
-                heap.clear()
-                self._dead = 0
-            return None
-
-        if isinstance(until, Event):
-            stop = until
-            if stop.callbacks is not None:
-                # Register interest so a failing process delivers its
-                # exception here rather than crashing the event loop.
-                stop.add_callback(lambda _ev: None)
-            while not stop.processed:
-                if len(self._heap) <= self._dead:
-                    raise SimulationError(
-                        f"simulation ran out of events before {stop!r} fired "
-                        f"(deadlock?)"
-                    )
-                self.step()
-            if not stop.ok:
-                stop._defused = True
-                raise stop.value
-            return stop.value
-
-        horizon = float(until)
-        if horizon < self.now:
-            raise ValueError(f"cannot run until {horizon} < now ({self.now})")
-        heap = self._heap
-        while heap:
-            when, _seq, event = heap[0]
-            if event._cancelled:
-                heapq.heappop(heap)
-                self._dead -= 1
-                self.skipped += 1
+                if (
+                    type(event) is Timeout
+                    and getrc(event) == _POOL_REFS
+                    and len(pool) < _POOL_MAX
+                ):
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    pool_append(event)
                 continue
-            if when > horizon:
-                break
-            heapq.heappop(heap)
-            self.now = when
-            self.dispatched += 1
+            self.now = batch[0][0]
             obs = self.obs
-            if obs is not None and event.name and obs.wants("sim"):
-                obs.instant("sim", "dispatch", args={"event": event.name})
-            event._process()
-            if self._crashed:
-                self._raise_crash()
-        self.now = horizon
-        return None
+            if obs is not None and obs.wants("sim"):
+                n = len(batch)
+                self.dispatched += n
+                self._inflight = n
+                self._dispatch_batch_slow(batch, obs, stop)
+                continue
+            n = len(batch)
+            self.dispatched += n
+            self._inflight = n
+            for entry in batch:
+                self._inflight -= 1
+                event = entry[2]
+                if event._cancelled:
+                    self.dispatched -= 1
+                    q.skip_inflight()
+                    continue
+                event._triggered = True
+                callbacks = event.callbacks
+                event.callbacks = None
+                for cb in callbacks:
+                    cb(event)
+                if self._crashed:
+                    self._abort_batch(batch, n)
+                    self._raise_crash()
+                if (
+                    type(event) is Timeout
+                    and getrc(event) == _POOL_REFS
+                    and len(pool) < _POOL_MAX
+                ):
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    pool_append(event)
+                if stop is not None and stop.callbacks is None:
+                    self._abort_batch(batch, n)
+                    break
 
+        if not stop.ok:
+            stop._defused = True
+            raise stop.value
+        return stop.value
+
+    # ------------------------------------------------------------------
+    # Queue accounting.  Delegated so obs summaries and tests read the
+    # same fields whichever queue implementation is plugged in.
     # ------------------------------------------------------------------
     @property
     def queued_events(self) -> int:
-        """Number of *live* (non-cancelled) events still on the heap."""
-        return len(self._heap) - self._dead
+        """Number of *live* (non-cancelled) events still pending,
+        including the undispatched tail of the batch currently in
+        flight."""
+        return self.queue.live + self._inflight
 
     @property
     def dead_events(self) -> int:
-        """Cancelled heap entries awaiting lazy removal."""
-        return self._dead
+        """Cancelled queue entries awaiting lazy removal."""
+        return self.queue.dead
 
     @property
     def heap_size(self) -> int:
-        """Raw heap length, live plus dead."""
-        return len(self._heap)
+        """Raw queue length, live plus dead (name kept from the
+        heap-only era; sized the same for every queue impl)."""
+        return self.queue.size
+
+    @property
+    def skipped(self) -> int:
+        """Cancelled entries removed without dispatch."""
+        return self.queue.skipped
+
+    @property
+    def compactions(self) -> int:
+        """In-place queue rebuilds triggered by the >50%-dead threshold."""
+        return self.queue.compactions
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Simulator t={self.now:.9f}s queued={self.queued_events} "
-            f"dead={self._dead}>"
+            f"dead={self.queue.dead} scheduler={self.queue.kind}>"
         )
+
+
+def _consume(_event) -> None:
+    """Stop-event sentinel callback (see Simulator.run(until=Event))."""

@@ -8,13 +8,13 @@ the waiting generator).
 
 Events are *triggered* by calling :meth:`Event.succeed` or :meth:`Event.fail`
 and are *processed* (their callbacks run) when the simulator pops them off
-the event heap.  Triggering schedules processing at the current simulation
-time, so callback execution order is always governed by the heap -- this
-keeps re-entrancy out of user code.
+the event queue.  Triggering schedules processing at the current simulation
+time, so callback execution order is always governed by the queue's
+``(time, seq)`` total order -- this keeps re-entrancy out of user code.
 
 Events can also be *cancelled* (:meth:`Event.cancel`): a cancelled event
-never runs its callbacks and its heap entry is deleted lazily -- skipped at
-pop time, or swept out by the engine's periodic compaction (see
+never runs its callbacks and its queue entry is deleted lazily -- skipped at
+pop time, or swept out by the queue's periodic compaction (see
 ``Simulator._note_cancelled``).  Cancellation is a race the caller may
 legitimately lose: cancelling an event that already triggered (or was
 already processed, or already cancelled) is a no-op returning ``False``,
@@ -98,7 +98,7 @@ class Event:
         legitimately loses, not an error.  Likewise, triggering a
         cancelled event is a no-op.
 
-        A cancelled heap entry is *lazily* deleted: it is skipped at pop
+        A cancelled queue entry is *lazily* deleted: it is skipped at pop
         time (or swept by compaction) and never dispatched.  Any process
         still waiting on a cancelled event is parked forever, so cancel
         an event only when every waiter is being torn down with it (the
@@ -128,7 +128,10 @@ class Event:
         self._value = value
         self._ok = True
         self._triggered = True
-        self.sim._schedule(self, 0.0)
+        # Inlined Simulator._schedule: triggering is on the hot path of
+        # every request completion / mailbox put.
+        sim = self.sim
+        sim._push(sim.now, next(sim._seq), self)
         self._scheduled = True
         return self
 
@@ -147,7 +150,8 @@ class Event:
         self._value = exception
         self._ok = False
         self._triggered = True
-        self.sim._schedule(self, 0.0)
+        sim = self.sim
+        sim._push(sim.now, next(sim._seq), self)
         self._scheduled = True
         return self
 
@@ -183,7 +187,14 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation."""
+    """An event that fires ``delay`` simulated seconds after creation.
+
+    Prefer :meth:`Simulator.timeout` over constructing directly: the
+    factory recycles dispatched Timeouts through a free pool (only when
+    provably unreferenced -- see the pooling notes in DESIGN.md section
+    9), which this constructor cannot.  A pooled instance is reset to
+    exactly the state this constructor establishes.
+    """
 
     __slots__ = ("delay",)
 
@@ -194,7 +205,7 @@ class Timeout(Event):
         self.delay = delay
         self._value = value
         self._ok = True
-        sim._schedule(self, delay)
+        sim._push(sim.now + delay, next(sim._seq), self)
         self._scheduled = True
 
 

@@ -67,38 +67,46 @@ class Process(Event):
 
     # ------------------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        # The per-event wake path: every dispatched event with a waiting
+        # process funnels through here, so attribute loads are hoisted
+        # and the common send/park tail stays branch-lean.
+        if self._triggered:
             return
         if event is not self._waiting_on and self._waiting_on is not None:
             # Stale wakeup from an event we stopped waiting on (interrupt).
             return
         self._waiting_on = None
-        obs = self.sim.obs
+        sim = self.sim
+        obs = sim.obs
         if obs is not None and obs.wants("sim"):
             obs.instant("sim", "wake", args={"process": self.name})
-        self.sim._active_process, prev = self, self.sim._active_process
-        to_throw: BaseException | None = None if event.ok else event.value
-        if not event.ok:
+        sim._active_process, prev = self, sim._active_process
+        if event._ok:
+            to_throw: BaseException | None = None
+        else:
+            to_throw = event._value
             event._defused = True
+        send = self._gen.send
+        throw = self._gen.throw
         while True:
             try:
                 if to_throw is None:
-                    target = self._gen.send(event._value)
+                    target = send(event._value)
                 else:
-                    target = self._gen.throw(to_throw)
+                    target = throw(to_throw)
             except StopIteration as stop:
-                self.sim._active_process = prev
+                sim._active_process = prev
                 self.succeed(stop.value)
                 return
             except BaseException as exc:
-                self.sim._active_process = prev
+                sim._active_process = prev
                 if not self.callbacks:
                     # Nobody is waiting on this process: surface in run().
-                    self.sim._crash(self, exc)
+                    sim._crash(self, exc)
                     self._value = exc
                     self._ok = False
                     self._triggered = True
-                    self.sim._schedule(self, 0.0)
+                    sim._schedule(self, 0.0)
                     return
                 self.fail(exc)
                 return
@@ -110,16 +118,23 @@ class Process(Event):
                     f"instances may be yielded"
                 )
                 continue
-            if target.sim is not self.sim:
+            if target.sim is not sim:
                 to_throw = ValueError(
                     f"process {self.name!r} yielded an event from a "
                     f"different simulator"
                 )
                 continue
             break
-        self.sim._active_process = prev
+        sim._active_process = prev
         self._waiting_on = target
-        target.add_callback(self._resume)
+        # Inlined add_callback: on this path the target is known live
+        # far more often than processed, and never needs the cancelled
+        # no-op (parking on a cancelled event is still a park).
+        cbs = target.callbacks
+        if cbs is None:
+            self._resume(target)
+        elif not target._cancelled:
+            cbs.append(self._resume)
 
     def _resume_interrupt(self, event: Event) -> None:
         # Interrupt delivery: bypass the identity check on _waiting_on.

@@ -93,10 +93,16 @@ class SimSemaphore:
         return ev
 
     def release(self) -> None:
-        if self._waiters:
-            self._waiters.popleft().succeed()
-        else:
-            self._value += 1
+        # A waiter cancelled while queued (teardown) must not swallow
+        # the permit: succeed() on a cancelled event is a no-op, so
+        # hand the permit to the next live waiter instead.
+        waiters = self._waiters
+        while waiters:
+            ev = waiters.popleft()
+            if not ev.cancelled:
+                ev.succeed()
+                return
+        self._value += 1
 
 
 class Mailbox:
@@ -118,10 +124,15 @@ class Mailbox:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        if self._getters:
-            self._getters.popleft().succeed(item)
-        else:
-            self._items.append(item)
+        # Skip getters cancelled while queued; delivering to one would
+        # silently drop the item (succeed() on cancelled is a no-op).
+        getters = self._getters
+        while getters:
+            ev = getters.popleft()
+            if not ev.cancelled:
+                ev.succeed(item)
+                return
+        self._items.append(item)
 
     def get(self) -> Event:
         ev = self.sim.event(name=f"mbox:{self.name}")

@@ -19,6 +19,7 @@ RULE_FIXTURES = {
     "slots-complete": ("slots_bad.py", "slots_good.py"),
     "obs-category": ("obscat_bad.py", "obscat_good.py"),
     "broad-except": ("broadexcept_bad.py", "broadexcept_good.py"),
+    "queue-encapsulation": ("queueenc_bad.py", "queueenc_good.py"),
 }
 
 

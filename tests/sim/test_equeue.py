@@ -1,0 +1,369 @@
+"""Unit tests for the pluggable event queues (repro.sim.equeue).
+
+The heap is the bit-identity reference; every behavioural test here runs
+under both schedulers and the calendar-specific tests exercise the
+machinery the heap does not have: bucket walking, gap jumps, adaptive
+resize, and the batched extraction protocol.
+"""
+
+import pytest
+
+from repro.sim import (
+    CalendarQueue,
+    HeapQueue,
+    SCHEDULERS,
+    SimulationError,
+    Simulator,
+    make_queue,
+)
+from repro.sim.sync import Mailbox, SimSemaphore
+
+BOTH = sorted(SCHEDULERS)
+
+
+# ----------------------------------------------------------------------
+# Construction and registry
+# ----------------------------------------------------------------------
+
+def test_make_queue_by_name():
+    assert isinstance(make_queue("heap"), HeapQueue)
+    assert isinstance(make_queue("calendar"), CalendarQueue)
+
+
+def test_make_queue_passthrough_instance():
+    q = HeapQueue()
+    assert make_queue(q) is q
+    assert Simulator(scheduler=q).queue is q
+
+
+def test_make_queue_unknown_name():
+    with pytest.raises(ValueError, match="calendar.*heap"):
+        make_queue("splay")
+
+
+def test_calendar_rejects_bad_width():
+    with pytest.raises(ValueError, match="width"):
+        CalendarQueue(width=0.0)
+
+
+def test_simulator_ctor_is_kw_only():
+    with pytest.raises(TypeError):
+        Simulator(7)  # simlint: disable=all
+
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_stats_shape(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    sim.timeout(1e-9)
+    s = sim.queue.stats()
+    assert s["scheduler"] == scheduler
+    assert s["live"] == 1 and s["dead"] == 0 and s["size"] == 1
+    if scheduler == "calendar":
+        assert s["buckets"] == 1
+        assert s["bucket_width_s"] == CalendarQueue.DEFAULT_WIDTH
+        assert s["resizes"] == 0
+
+
+# ----------------------------------------------------------------------
+# Dispatch order: both queues must produce the heap's schedule
+# ----------------------------------------------------------------------
+
+def _dispatch_order(scheduler, delays):
+    sim = Simulator(scheduler=scheduler)
+    log = []
+    for i, d in enumerate(delays):
+        ev = sim.timeout(d, name=f"t{i}")
+        ev.callbacks.append(lambda e: log.append(e.name))
+    sim.run()
+    return log
+
+
+def test_same_order_across_schedulers():
+    # Duplicate timestamps, reversed pushes, bucket-boundary straddlers.
+    w = CalendarQueue.DEFAULT_WIDTH
+    delays = [5 * w, 0.0, w, w, 0.999 * w, 1.001 * w, 0.0, 3.5 * w]
+    assert _dispatch_order("heap", delays) == _dispatch_order("calendar", delays)
+
+
+def test_zero_delay_events_scheduled_during_batch_keep_seq_order():
+    logs = {}
+    for scheduler in BOTH:
+        sim = Simulator(scheduler=scheduler)
+        log = []
+
+        def chain(e):
+            log.append(e.name)
+            if len(log) < 6:
+                nxt = sim.timeout(0.0, name=f"z{len(log)}")
+                nxt.callbacks.append(chain)
+
+        for i in range(3):
+            sim.timeout(0.0, name=f"a{i}").callbacks.append(chain)
+        sim.run()
+        logs[scheduler] = log
+    assert logs["heap"] == logs["calendar"]
+    assert logs["heap"][:3] == ["a0", "a1", "a2"]
+
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_far_future_gap_jump(scheduler):
+    # A lone far-future event: the calendar cursor must jump the gap
+    # rather than walk millions of empty buckets.
+    sim = Simulator(scheduler=scheduler)
+    fired = []
+    sim.call_after(10.0, fired.append, "far")
+    sim.call_after(1e-9, fired.append, "near")
+    sim.run()
+    assert fired == ["near", "far"]
+    assert sim.now == pytest.approx(10.0)
+
+
+# ----------------------------------------------------------------------
+# Calendar resize machinery
+# ----------------------------------------------------------------------
+
+def test_calendar_narrows_under_crowding():
+    sim = Simulator(scheduler="calendar")
+    q = sim.queue
+    w0 = q.bucket_width
+    # 600 timers inside one initial bucket: occupancy 600/bucket blows
+    # through the narrow threshold at the 513th push.
+    for i in range(600):
+        sim.timeout((i % 64) * 1e-10)
+    assert q.resizes >= 1
+    assert q.bucket_width < w0
+    assert q.bucket_count > 1
+    sim.run()
+    assert sim.dispatched == 600
+
+
+def test_calendar_widens_when_sparse():
+    sim = Simulator(scheduler="calendar")
+    q = sim.queue
+    w0 = q.bucket_width
+    # >64 occupied buckets, one entry each, spaced beyond the cursor's
+    # adjacent-key window: a few long gap jumps trigger a widen.
+    for i in range(100):
+        sim.timeout(i * 1e-5)
+    assert q.bucket_count == 100
+    sim.run()
+    assert q.resizes >= 1
+    assert q.bucket_width > w0
+    assert sim.dispatched == 100
+
+
+def test_calendar_resize_preserves_heap_schedule():
+    w = CalendarQueue.DEFAULT_WIDTH
+    delays = [(i % 64) * 1e-10 for i in range(600)]  # forces a narrow
+    delays += [i * 1e-6 for i in range(100)]         # then sparse tail
+    delays += [5 * w, 0.0, 2.5 * w]
+    assert _dispatch_order("heap", delays) == _dispatch_order("calendar", delays)
+
+
+# ----------------------------------------------------------------------
+# Cancellation books
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_cancel_storm_books_balance(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    evs = [sim.timeout(i * 1e-9) for i in range(256)]
+    for ev in evs[::2]:
+        assert ev.cancel()
+    q = sim.queue
+    assert q.live + q.dead == q.size
+    sim.run()
+    assert sim.dispatched == 128
+    assert sim.skipped == 128
+    assert sim.dead_events == 0
+    assert sim.queued_events == 0
+
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_compaction_sweeps_dead_entries(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    evs = [sim.timeout(i * 1e-9) for i in range(256)]
+    for ev in evs[:130]:
+        ev.cancel()
+    # The sweep fires at the 129th cancel (dead*2 > size); the 130th
+    # then sits as fresh dead weight awaiting the next trigger.
+    assert sim.compactions == 1
+    assert sim.heap_size == 127
+    assert sim.dead_events == 1
+    assert sim.skipped == 129
+
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_horizon_run_stops_short(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    fired = []
+    sim.call_after(1e-9, fired.append, "early")
+    sim.call_after(1.0, fired.append, "late")
+    sim.run(until=0.5)
+    assert fired == ["early"]
+    assert sim.now == 0.5
+    assert sim.queued_events == 1
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_run_until_event_deadlock(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    stop = sim.event(name="never")
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run(until=stop)
+
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_mid_batch_stop_requeues_tail(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    log = []
+    a = sim.timeout(0.0, name="a")
+    a.callbacks.append(lambda e: log.append("a"))
+    stop = sim.event(name="stop")
+    stop.succeed()
+    b = sim.timeout(0.0, name="b")
+    b.callbacks.append(lambda e: log.append("b"))
+    c = sim.timeout(0.0, name="c")
+    c.callbacks.append(lambda e: log.append("c"))
+    sim.run(until=stop)
+    # a and the stop event dispatched; b and c went back to the queue.
+    assert log == ["a"]
+    assert sim.queued_events == 2
+    assert sim.dispatched == 2
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_inflight_cancel_resolved_on_early_stop(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    stop = sim.event(name="stop")
+    stop.succeed()
+    victim = sim.timeout(0.0, name="victim")
+    stop.add_callback(lambda e: victim.cancel())
+    survivor = sim.timeout(0.0, name="survivor")
+    fired = []
+    survivor.callbacks.append(lambda e: fired.append("survivor"))
+    sim.run(until=stop)
+    q = sim.queue
+    assert q.live + q.dead == q.size
+    assert sim.dead_events == 0  # in-flight cancel resolved as a skip
+    assert sim.skipped == 1
+    sim.run()
+    assert fired == ["survivor"]
+
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_queued_events_sees_batch_siblings(scheduler):
+    # The progress watchdog's idle check runs inside callbacks; an
+    # undispatched same-timestamp sibling must still count as queued.
+    sim = Simulator(scheduler=scheduler)
+    seen = []
+    a = sim.timeout(0.0, name="a")
+    a.callbacks.append(lambda e: seen.append(sim.queued_events))
+    b = sim.timeout(0.0, name="b")
+    b.callbacks.append(lambda e: seen.append(sim.queued_events))
+    sim.run()
+    assert seen == [1, 0]
+
+
+# ----------------------------------------------------------------------
+# step() and the batched extraction protocol
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_step_dispatches_one_event_of_a_tie(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    log = []
+    for name in ("x", "y"):
+        ev = sim.timeout(0.0, name=name)
+        ev.callbacks.append(lambda e: log.append(e.name))
+    sim.step()
+    assert log == ["x"]
+    assert sim.queued_events == 1
+    sim.step()
+    assert log == ["x", "y"]
+    with pytest.raises(IndexError):
+        sim.step()
+
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_pop_batch_singleton_is_bare_entry(scheduler):
+    q = make_queue(scheduler)
+
+    class _Ev:
+        _cancelled = False
+
+    q.push(1e-9, 0, _Ev())
+    q.push(2e-9, 1, _Ev())
+    q.push(2e-9, 2, _Ev())
+    first = q.pop_batch()
+    assert type(first) is tuple and first[0] == 1e-9
+    tie = q.pop_batch()
+    assert type(tie) is list and [e[1] for e in tie] == [1, 2]
+    assert q.pop_batch() is None
+
+
+# ----------------------------------------------------------------------
+# Timeout pooling
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_pool_recycles_unreferenced_timeouts(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    done = []
+
+    def chain(n):
+        def cb(_ev):
+            if n:
+                sim.timeout(1e-9).callbacks.append(chain(n - 1))
+            else:
+                done.append(True)
+        return cb
+
+    sim.timeout(1e-9).callbacks.append(chain(50))
+    sim.run()
+    assert done == [True]
+    assert sim.pool_hits > 0
+
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_pooled_timeout_rejects_negative_delay(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    sim.timeout(1e-9)
+    sim.run()  # leaves a pooled Timeout behind
+    with pytest.raises(ValueError):
+        sim.timeout(-1e-9)
+
+
+# ----------------------------------------------------------------------
+# sync primitives vs cancelled waiters
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_semaphore_release_skips_cancelled_waiter(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    sem = SimSemaphore(sim, value=1, name="s")
+    assert sem.acquire().triggered
+    dead = sem.acquire()
+    live = sem.acquire()
+    dead.cancel()
+    sem.release()
+    assert live.triggered  # permit skipped the cancelled waiter
+    sem.release()
+    assert sem.value == 1  # no waiters left: permit returns to the pool
+
+
+@pytest.mark.parametrize("scheduler", BOTH)
+def test_mailbox_put_skips_cancelled_getter(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    box = Mailbox(sim, name="m")
+    dead = box.get()
+    live = box.get()
+    dead.cancel()
+    box.put("payload")
+    assert live.triggered and live.value == "payload"
+    box.put("queued")
+    assert len(box) == 1  # no live getters: the item is stored, not lost
