@@ -1,0 +1,122 @@
+"""Micro-benchmark: continuation-driven completion vs wait polling.
+
+Runs the rendezvous throughput workload (2 ranks x 8 threads, priority
+lock -- the fig_continuations gate cell) once per completion mode and
+records, per mode:
+
+* **wasted_acquisitions** -- empty progress polls summed over both
+  ranks: full CS round-trips that progressed nothing (the paper's
+  wasted acquisition);
+* **parks** -- empty CS round-trips continuation mode replaced with a
+  wait on the completion signal (``wasted_acquisitions_avoided``);
+* **msg_rate_k / peak_dangling** -- the simulated throughput and
+  starvation high-water mark, to show the savings are not bought with
+  rate or backlog;
+* **events / wall_s / events_per_sec** -- host-side simulator cost
+  (engine dispatch accounting: ``dispatched + skipped``).
+
+The acceptance gate lives here: continuation mode must cut wasted
+acquisitions by >= 20% at the gate cell (it typically cuts >90%).  The
+baseline is committed at ``results/BENCH_continuations.json``::
+
+    PYTHONPATH=src python benchmarks/bench_continuations.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.mpi import Cluster, ClusterConfig
+from repro.workloads import ThroughputConfig, run_throughput
+
+RESULTS = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_continuations.json"
+)
+
+#: Acceptance gate: wasted-acquisition reduction vs polling at 8
+#: threads under the priority lock (the fig_continuations gate cell).
+MIN_REDUCTION = 0.20
+
+THREADS = 8
+LOCK = "priority"
+
+
+def bench_one(mode: str, quick: bool, seed: int = 1) -> dict:
+    cl = Cluster(ClusterConfig(
+        n_nodes=2, threads_per_rank=THREADS, lock=LOCK,
+        seed=seed, completion=mode,
+    ))
+    cfg = ThroughputConfig(
+        msg_size=65536, window=8, n_windows=2 if quick else 4,
+    )
+    t0 = time.perf_counter()  # simlint: disable=wall-clock
+    res = run_throughput(cl, cfg)
+    wall = time.perf_counter() - t0  # simlint: disable=wall-clock
+    n_events = cl.sim.dispatched + cl.sim.skipped
+    return {
+        "mode": mode,
+        "threads_per_rank": THREADS,
+        "lock": LOCK,
+        "wasted_acquisitions": sum(
+            rt.stats.empty_polls for rt in cl.runtimes
+        ),
+        "parks": sum(
+            rt.stats.wasted_acquisitions_avoided for rt in cl.runtimes
+        ),
+        "msg_rate_k": res.msg_rate_k,
+        "peak_dangling": max(rt.peak_dangling for rt in cl.runtimes),
+        "events": n_events,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(n_events / wall),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI-sized run (half the windows)")
+    args = ap.parse_args(argv)
+
+    rows = [bench_one(mode, args.quick) for mode in ("poll", "continuation")]
+    poll, cont = rows
+    reduction = (
+        1.0 - cont["wasted_acquisitions"] / poll["wasted_acquisitions"]
+        if poll["wasted_acquisitions"] else 0.0
+    )
+    payload = {
+        "bench": (
+            "continuation completion vs wait polling "
+            f"(rendezvous throughput, 2 ranks x {THREADS} threads, "
+            f"{LOCK} lock)"
+        ),
+        "gate": {"min_reduction": MIN_REDUCTION, "reduction": round(
+            reduction, 4)},
+        "rows": rows,
+    }
+    RESULTS.parent.mkdir(exist_ok=True)
+    RESULTS.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"{'mode':>13} {'wasted':>8} {'parks':>7} {'rate (k/s)':>11} "
+          f"{'dangling':>9} {'events':>9} {'ev/s':>9}")
+    for r in rows:
+        print(f"{r['mode']:>13} {r['wasted_acquisitions']:>8} "
+              f"{r['parks']:>7} {r['msg_rate_k']:>11.1f} "
+              f"{r['peak_dangling']:>9} {r['events']:>9} "
+              f"{r['events_per_sec']:>9}")
+    print(f"wasted-acquisition reduction: {reduction:.1%} "
+          f"(gate >= {MIN_REDUCTION:.0%})")
+    print(f"written to {RESULTS}")
+
+    if reduction < MIN_REDUCTION:
+        print(f"FAIL: reduction {reduction:.1%} below the "
+              f"{MIN_REDUCTION:.0%} gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,14 @@ them as AST rules (stdlib :mod:`ast`, no new dependencies):
     pool).  Everything else goes through the :class:`EventQueue`
     interface and the ``Simulator`` properties, or the calendar queue
     silently diverges from the heap.
+``continuation-discipline``
+    Callbacks registered via ``attach_continuation`` fire inside the
+    runtime's completion dispatch: they are plain functions, not sim
+    processes, so a blocking call (``wait``/``waitall``/``waitany``/
+    ``acquire``) can never yield its event and would wedge or corrupt
+    the completion path.  Callbacks must stay O(1) bookkeeping; a
+    callback that needs to block should set a flag or fire a latch a
+    real process waits on.
 
 Any finding is suppressible on its line with ``# simlint:
 disable=RULE`` (comma-separated rules, or ``all``).  Suppression is
@@ -660,6 +668,60 @@ def _check_queue_encapsulation(mod: _Module) -> Iterator[Finding]:
                         "internals are private to the sim engine; use the "
                         "EventQueue interface or Simulator properties",
                     )
+
+
+#: Methods a continuation callback must never call: blocking waits and
+#: critical-section entry.  (``test*`` are nonblocking but still enter
+#: the CS through ``_cs_acquire``, which this set also covers.)
+_BLOCKING_ATTRS = frozenset({
+    "wait", "waitall", "waitany", "acquire", "_cs_acquire",
+})
+
+
+@_rule("continuation-discipline")
+def _check_continuation_discipline(mod: _Module) -> Iterator[Finding]:
+    """continuation callbacks must not call blocking ops"""
+    named = {fn.name: fn for fn in _functions(mod.tree)}
+
+    def blocking_calls(roots: Sequence[ast.AST]) -> Iterator[ast.Call]:
+        for root in roots:
+            for n in ast.walk(root):
+                if (
+                    isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Attribute)
+                    and n.func.attr in _BLOCKING_ATTRS
+                ):
+                    yield n
+
+    for node in ast.walk(mod.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "attach_continuation"
+        ):
+            continue
+        cb = node.args[0] if node.args else None
+        if cb is None:
+            for kw in node.keywords:
+                if kw.arg == "fn":
+                    cb = kw.value
+                    break
+        if isinstance(cb, ast.Lambda):
+            roots: Sequence[ast.AST] = (cb.body,)
+        elif isinstance(cb, ast.Name) and cb.id in named:
+            roots = named[cb.id].body
+        else:
+            # Bound methods / unresolvable expressions: nothing to prove.
+            continue
+        for call in blocking_calls(roots):
+            yield Finding(
+                mod.path, call.lineno, call.col_offset,
+                "continuation-discipline",
+                f"continuation callback calls blocking op "
+                f"{call.func.attr!r}; callbacks run inside the runtime's "
+                "completion dispatch and must not block (no "
+                "wait*/acquire) -- fire a latch a real process waits on",
+            )
 
 
 # ======================================================================

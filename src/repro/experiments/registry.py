@@ -16,6 +16,7 @@ from .fig10 import run_fig10a, run_fig10b, run_fig10c
 from .fig11 import run_fig11a, run_fig11b
 from .fig12 import run_fig12b
 from .fig_chaos import run_fig_chaos
+from .fig_continuations import run_fig_continuations
 from .fig_vci import run_fig_vci
 
 __all__ = ["EXPERIMENTS", "EXPERIMENT_TITLES", "ExperimentRunner", "run_experiment"]
@@ -52,6 +53,7 @@ EXPERIMENT_TITLES: Dict[str, str] = {
     "fig12b": "mini-SWAP assembly: ~2x from fairness, no app change",
     "fig_vci": "per-VCI arbitration domains vs global-CS locks (beyond the paper)",
     "fig_chaos": "goodput vs packet drop with ACK/retransmit + watchdog (beyond the paper)",
+    "fig_continuations": "continuation-driven completion vs wait polling (beyond the paper)",
 }
 
 EXPERIMENTS: Dict[str, ExperimentRunner] = {
@@ -74,6 +76,7 @@ EXPERIMENTS: Dict[str, ExperimentRunner] = {
     "fig12b": run_fig12b,
     "fig_vci": run_fig_vci,
     "fig_chaos": run_fig_chaos,
+    "fig_continuations": run_fig_continuations,
 }
 
 

@@ -42,10 +42,10 @@ from ..machine.costs import CostModel
 from ..machine.threads import ThreadCtx
 from ..network.fabric import Fabric, RankNic
 from ..network.message import Packet, PacketKind
-from ..sim.sync import Signal
+from ..sim.sync import CompletionLatch, Signal
 from .envelope import ANY_SOURCE, ANY_TAG, Envelope
 from .queues import UnexpectedMsg
-from .request import Protocol, ReqKind, Request
+from .request import Protocol, ReqKind, Request, RequestError
 from .vci import GLOBAL_POLICY, CsGranularity, CsPolicy
 
 __all__ = ["MpiRuntime", "MpiThread", "RuntimeStats"]
@@ -88,7 +88,8 @@ class RuntimeStats:
         "sends_issued", "recvs_issued", "completed", "freed",
         "posted_hits", "unexpected_hits", "progress_polls",
         "empty_polls", "packets_handled", "cs_entries_main",
-        "cs_entries_progress",
+        "cs_entries_progress", "continuations_fired",
+        "wasted_acquisitions_avoided",
     )
 
     def __init__(self):
@@ -113,6 +114,7 @@ class MpiRuntime:
         eager_threshold: int = 16384,
         inline_threshold: int = 128,
         event_driven_wait: bool = False,
+        completion: str = "poll",
         cs_granularity: "str | CsGranularity" = "global",
         policy: Optional[CsPolicy] = None,
         domain_locks: Optional[Sequence[SimLock]] = None,
@@ -167,8 +169,23 @@ class MpiRuntime:
         #: loop.  Simplified vs true *selective* wake-up: any activity
         #: wakes every parked waiter of this rank.
         self.event_driven_wait = bool(event_driven_wait)
+        #: Blocking-call strategy: "poll" reproduces the paper's CS_YIELD
+        #: loops bit-for-bit; "continuation" parks waiters on the
+        #: completion/arrival signal and only enters the critical section
+        #: when there is something to progress (the remedy the
+        #: continuations figure measures).
+        if completion not in ("poll", "continuation"):
+            raise ValueError(
+                f"completion must be 'poll' or 'continuation', got "
+                f"{completion!r}"
+            )
+        self.completion = completion
         self._activity = Signal(sim, name=f"activity@{rank}")
-        if self.event_driven_wait:
+        #: Both event-driven polling and continuation mode park waiters
+        #: on the activity signal, so both need the NIC arrival hook and
+        #: the completion-path fire.
+        self._wake_waiters = self.event_driven_wait or completion == "continuation"
+        if self._wake_waiters:
             nic.on_packet = lambda pkt: self._activity.fire()
         #: Collective sequence numbers, per communicator id.
         self.coll_seq: Dict[int, int] = {}
@@ -382,6 +399,10 @@ class MpiRuntime:
     # Completion plumbing
     # ==================================================================
     def _complete(self, req: Request) -> None:
+        """The single completion path: every way a request finishes --
+        eager/inline match, rendezvous data, reliability ACK, RMA flush
+        -- funnels through here, so this is the one place continuations
+        fire and waiters wake."""
         req.mark_complete(self.sim.now)
         self.domains[req.vci].note_complete()
         self.dangling_count += 1
@@ -395,8 +416,90 @@ class MpiRuntime:
                 obs.counter("mpi", f"dangling.d{req.vci}",
                             self.domains[req.vci].stats.dangling,
                             rank=self.rank)
-        if self.event_driven_wait:
+        conts = req._continuations
+        if conts is not None:
+            deferred = [h for h in conts if not h.sync and not h.detached]
+            # Deferred handles stay linked until their dispatch actually
+            # runs: a free overtaking the dispatch (the owner's wait
+            # discovering completion in its own poll) cancels them
+            # cleanly through the handle's timer.
+            req._continuations = deferred or None
+            for handle in conts:
+                if handle.detached or not handle.sync:
+                    continue
+                # Runtime-internal bookkeeping (the blocking calls'
+                # counter latches): pure O(1), safe inside the CS,
+                # schedule-neutral by construction.
+                self._run_continuation(handle)
+            for handle in deferred:
+                # User callback: defer through the event queue so it
+                # runs at the completion timestamp in (time, seq)
+                # order, outside the completing critical section.  The
+                # handle keeps the cancellable timer so detach() and
+                # free can still win the race.
+                handle._timer = self.sim.call_after(
+                    0.0, self._run_continuation, handle
+                )
+        if self._wake_waiters:
             self._activity.fire()
+
+    def _run_continuation(self, handle) -> None:
+        """Run one continuation callback (also the deferred-dispatch
+        target).  The dangling-continuation guard lives here: a legit
+        free cancels in-flight deferred fires through their cancellable
+        timers (``Request.mark_freed``), so a dispatch that still finds
+        its request freed means the lifecycle was bypassed -- raise
+        instead of silently firing against a dead request."""
+        if handle.detached:
+            # Detached while the deferred dispatch was in flight (the
+            # timer cancel lost the same-timestamp race); honor it.
+            return
+        req = handle.req
+        if req.freed:
+            raise RequestError(
+                f"continuation fired on freed request #{req.req_id}; "
+                f"the free bypassed detach (dangling continuation)"
+            )
+        handle.fired = True
+        handle._timer = None
+        conts = req._continuations
+        if conts is not None and handle in conts:
+            # Deferred handles stay linked until dispatch so a free can
+            # cancel them; unlink now that the fire actually happened.
+            conts.remove(handle)
+            if not conts:
+                req._continuations = None
+        self.stats.continuations_fired += 1
+        obs = self.sim.obs
+        if obs is not None and obs.wants("mpi"):
+            obs.counter("mpi", "continuations_fired",
+                        self.stats.continuations_fired, rank=self.rank)
+            if not handle.sync and req.t_completed is not None:
+                # Callback latency: completion -> dispatch, in ns.
+                obs.counter(
+                    "mpi", "continuation_latency_ns",
+                    (self.sim.now - req.t_completed) * 1e9,
+                    rank=self.rank,
+                )
+        handle.fn(req)
+
+    def _attach_latch(
+        self, reqs: Sequence[Request],
+    ) -> Tuple[CompletionLatch, List]:
+        """Attach a counter latch over ``reqs`` via sync continuations.
+
+        Already-complete requests join as fired rather than pending, so
+        the latch predicates match the hand-rolled ``r.complete`` scans
+        they replace.  Pure bookkeeping: no sim state is touched."""
+        latch = CompletionLatch(self.sim)
+        handles: List = []
+        for r in reqs:
+            if r._done:
+                latch.note_fired()
+            else:
+                latch.add()
+                handles.append(r.attach_continuation(latch.fire, sync=True))
+        return latch, handles
 
     def _free(self, req: Request, ctx: Optional[ThreadCtx] = None) -> None:
         if ctx is not None and self.sim.obs is not None:
@@ -671,44 +774,80 @@ class MpiRuntime:
     def test(self, ctx: ThreadCtx, req: Request):
         """MPI_Test: one progress poke; frees the request on success.
         Returns True when the request completed."""
-        doms = self._req_domains((req,))
-        done = False
-        for i, dom in enumerate(doms):
-            yield from self._cs_acquire(dom, ctx, Priority.HIGH)
-            if i == 0:
-                yield self._cs_time(dom, self.costs.cs_main)
-            if not req.complete:
-                yield from self._progress_poll(dom, ctx)
-            if i == len(doms) - 1:
-                done = req.complete
-                if done and not req.freed:
-                    self._free(req, ctx)
-            yield from self._cs_release(dom, ctx)
-        return done
+        return (yield from self._test_engine(ctx, (req,), any_mode=False))
 
     def wait(self, ctx: ThreadCtx, req: Request):
         """MPI_Wait: block (polling the progress engine) until complete."""
         return (yield from self.waitall(ctx, (req,)))
 
     def waitall(self, ctx: ThreadCtx, reqs: Iterable[Request]):
-        """MPI_Waitall over ``reqs``; frees them all.
+        """MPI_Waitall over ``reqs``; frees them all and returns their
+        payloads.  Dispatches on the runtime's ``completion`` mode."""
+        reqs = tuple(reqs)
+        if self.completion == "continuation":
+            return (yield from self._wait_continuation(ctx, reqs,
+                                                       any_mode=False))
+        return (yield from self._wait_poll(ctx, reqs, any_mode=False))
+
+    def testall(self, ctx: ThreadCtx, reqs):
+        """MPI_Testall: one progress poke per involved domain; frees all
+        and returns True only when every request has completed."""
+        return (yield from self._test_engine(ctx, tuple(reqs),
+                                             any_mode=False))
+
+    def testany(self, ctx: ThreadCtx, reqs):
+        """MPI_Testany: one progress poke per involved domain; frees and
+        returns the index of the first completed request, or None.
+
+        An empty request sequence is a :class:`ValueError`: "any of
+        nothing" has no meaningful index, and MPI's own convention
+        (MPI_UNDEFINED) does not map onto None-vs-index cleanly.
+        """
+        reqs = tuple(reqs)
+        if not reqs:
+            raise ValueError("testany over an empty request sequence")
+        return (yield from self._test_engine(ctx, reqs, any_mode=True))
+
+    def waitany(self, ctx: ThreadCtx, reqs):
+        """MPI_Waitany: block until one request completes; frees it and
+        returns its index.
+
+        An empty request sequence is a :class:`ValueError` -- the poll
+        loop could never be satisfied and would spin forever.
+        """
+        reqs = tuple(reqs)
+        if not reqs:
+            raise ValueError("waitany over an empty request sequence")
+        if self.completion == "continuation":
+            return (yield from self._wait_continuation(ctx, reqs,
+                                                       any_mode=True))
+        return (yield from self._wait_poll(ctx, reqs, any_mode=True))
+
+    # ------------------------------------------------------------------
+    # The completion engines.  All six public blocking calls reduce to
+    # these three bodies; completion itself is observed through the same
+    # continuation hook user callbacks use (a CompletionLatch attached
+    # as a sync continuation per pending request), so there is exactly
+    # one completion code path in the runtime (_complete).
+    # ------------------------------------------------------------------
+    def _wait_poll(self, ctx: ThreadCtx, reqs: Tuple[Request, ...],
+                   any_mode: bool):
+        """Blocking wait, polling form: the paper's CS_YIELD loop.
 
         Polls only the domains the pending requests live in, rotating to
         the next one across each CS_YIELD gap (a thread never holds two
-        domain locks at once)."""
-        reqs = tuple(reqs)
+        domain locks at once).  The latch replaces the hand-rolled
+        pending-list re-filters with two counter reads; the sequence of
+        yields, RNG draws and lock transitions is bit-identical to the
+        pre-continuation loops (pinned by test_domain_regression)."""
         doms = self._req_domains(reqs)
         cur = 0
         yield from self._cs_acquire(doms[cur], ctx, Priority.HIGH)
         yield self._cs_time(doms[cur], self.costs.cs_main)
-        # Completion polling is the workloads' inner loop: track only the
-        # still-incomplete requests and read the cached ``_done`` flag
-        # directly rather than re-scanning the full set each gap.
-        pending = [r for r in reqs if not r._done]
-        while pending:
+        latch, handles = self._attach_latch(reqs)
+        while (latch.n_fired == 0) if any_mode else (latch.n_pending > 0):
             yield from self._progress_poll(doms[cur], ctx)
-            pending = [r for r in pending if not r._done]
-            if not pending:
+            if (latch.n_fired > 0) if any_mode else (latch.n_pending == 0):
                 break
             # CS_YIELD: let other threads at the runtime, come back at
             # progress-loop (LOW) priority.  The gap is jittered: real
@@ -727,80 +866,119 @@ class MpiRuntime:
             cur = (cur + 1) % len(doms)
             yield from self._cs_acquire(doms[cur], ctx, Priority.LOW)
             # Another thread's progress may have completed the rest
-            # while this one sat in the gap / lock queue.
-            pending = [r for r in pending if not r._done]
+            # while this one sat in the gap / lock queue -- the latch
+            # already counted those fires; the loop condition sees them.
+        for h in handles:
+            h.detach()
+        if any_mode:
+            idx = next(i for i, r in enumerate(reqs) if r.complete)
+            if not reqs[idx].freed:
+                self._free(reqs[idx], ctx)
+            yield from self._cs_release(doms[cur], ctx)
+            return idx
         for r in reqs:
             if not r.freed:
                 self._free(r, ctx)
         yield from self._cs_release(doms[cur], ctx)
         return [r.data for r in reqs]
 
-    def testall(self, ctx: ThreadCtx, reqs):
-        """MPI_Testall: one progress poke per involved domain; frees all
-        and returns True only when every request has completed."""
-        reqs = tuple(reqs)
+    def _test_engine(self, ctx: ThreadCtx, reqs: Tuple[Request, ...],
+                     any_mode: bool):
+        """Nonblocking completion check: one progress poke per involved
+        domain, then free-and-report on the last one.  Shared body of
+        test/testall/testany (a test *is* the poll loop's single
+        iteration, so it has no continuation form)."""
         doms = self._req_domains(reqs)
-        done = False
+        latch, handles = self._attach_latch(reqs)
+        result: "bool | int | None" = False if not any_mode else None
         for i, dom in enumerate(doms):
             yield from self._cs_acquire(dom, ctx, Priority.HIGH)
             if i == 0:
                 yield self._cs_time(dom, self.costs.cs_main)
-            if not all(r.complete for r in reqs):
+            if (latch.n_fired == 0) if any_mode else (latch.n_pending > 0):
                 yield from self._progress_poll(dom, ctx)
             if i == len(doms) - 1:
-                done = all(r.complete for r in reqs)
-                if done:
-                    for r in reqs:
-                        if not r.freed:
-                            self._free(r, ctx)
+                if any_mode:
+                    result = next(
+                        (j for j, r in enumerate(reqs) if r.complete), None
+                    )
+                    if result is not None and not reqs[result].freed:
+                        self._free(reqs[result], ctx)
+                else:
+                    result = latch.n_pending == 0
+                    if result:
+                        for r in reqs:
+                            if not r.freed:
+                                self._free(r, ctx)
             yield from self._cs_release(dom, ctx)
-        return done
+        for h in handles:
+            h.detach()
+        return result
 
-    def testany(self, ctx: ThreadCtx, reqs):
-        """MPI_Testany: one progress poke per involved domain; frees and
-        returns the index of the first completed request, or None."""
-        reqs = tuple(reqs)
-        doms = self._req_domains(reqs)
-        idx = None
-        for i, dom in enumerate(doms):
-            yield from self._cs_acquire(dom, ctx, Priority.HIGH)
-            if i == 0:
-                yield self._cs_time(dom, self.costs.cs_main)
-            if not any(r.complete for r in reqs):
-                yield from self._progress_poll(dom, ctx)
-            if i == len(doms) - 1:
-                idx = next((j for j, r in enumerate(reqs) if r.complete), None)
-                if idx is not None and not reqs[idx].freed:
-                    self._free(reqs[idx], ctx)
-            yield from self._cs_release(dom, ctx)
-        return idx
+    def _wait_continuation(self, ctx: ThreadCtx, reqs: Tuple[Request, ...],
+                           any_mode: bool):
+        """Blocking wait, continuation form (the remedy).
 
-    def waitany(self, ctx: ThreadCtx, reqs):
-        """MPI_Waitany: block until one request completes; frees it and
-        returns its index."""
-        reqs = tuple(reqs)
+        The waiter never polls for completion: it parks on the
+        arrival/completion signal and enters the critical section only
+        when a domain it cares about actually has packets to progress.
+        Every park that replaces an empty CS round-trip is counted as a
+        ``wasted acquisition avoided`` -- the paper's wasted-acquisition
+        metric, inverted.  Completion is observed through the same latch
+        continuations the polling form uses; the finished requests are
+        then freed under one HIGH-priority CS entry per owning domain,
+        without ever having re-entered the CS just to *check* for
+        completion."""
         doms = self._req_domains(reqs)
-        cur = 0
-        yield from self._cs_acquire(doms[cur], ctx, Priority.HIGH)
-        yield self._cs_time(doms[cur], self.costs.cs_main)
-        while not any(r.complete for r in reqs):
-            yield from self._progress_poll(doms[cur], ctx)
-            if any(r.complete for r in reqs):
-                break
-            yield from self._cs_release(doms[cur], ctx)
-            if self.event_driven_wait and not any(d.recv_q for d in doms):
+        latch, handles = self._attach_latch(reqs)
+        obs = self.sim.obs
+        while (latch.n_fired == 0) if any_mode else (latch.n_pending > 0):
+            dom = next((d for d in doms if d.recv_q), None)
+            if dom is None:
+                # Nothing to progress anywhere we look: the polling path
+                # would burn a full CS round-trip to discover an empty
+                # queue (the paper's wasted acquisition); park instead.
+                # No sim time passes between this check and the wait, so
+                # no wake-up can be missed.
+                self.stats.wasted_acquisitions_avoided += 1
+                if obs is not None and obs.wants("mpi"):
+                    obs.counter(
+                        "mpi", "wasted_acq_avoided",
+                        self.stats.wasted_acquisitions_avoided,
+                        rank=self.rank,
+                    )
                 yield self._activity.wait()
                 yield self.sim.timeout(self.costs.event_wakeup)
-            else:
-                gap = self.costs.progress_gap * (0.5 + self._rng.random())
-                yield self.sim.timeout(gap)
-            cur = (cur + 1) % len(doms)
-            yield from self._cs_acquire(doms[cur], ctx, Priority.LOW)
-        idx = next(i for i, r in enumerate(reqs) if r.complete)
-        if not reqs[idx].freed:
-            self._free(reqs[idx], ctx)
-        yield from self._cs_release(doms[cur], ctx)
-        return idx
+                continue
+            yield from self._cs_acquire(dom, ctx, Priority.LOW)
+            yield from self._progress_poll(dom, ctx)
+            yield from self._cs_release(dom, ctx)
+        for h in handles:
+            h.detach()
+        to_free: Tuple[Request, ...]
+        if any_mode:
+            idx = next(i for i, r in enumerate(reqs) if r.complete)
+            to_free = (reqs[idx],)
+        else:
+            to_free = reqs
+        # Free under the owning domains' CS, one HIGH entry per domain
+        # (grouped, so a waitall over one domain pays one entry total).
+        freed_doms: List[int] = []
+        for r in to_free:
+            d = self._route(r.vci)
+            if d not in freed_doms:
+                freed_doms.append(d)
+        for di in freed_doms:
+            dom = self.domains[di]
+            yield from self._cs_acquire(dom, ctx, Priority.HIGH)
+            yield self._cs_time(dom, self.costs.cs_main)
+            for r in to_free:
+                if self._route(r.vci) == di and not r.freed:
+                    self._free(r, ctx)
+            yield from self._cs_release(dom, ctx)
+        if any_mode:
+            return idx
+        return [r.data for r in reqs]
 
     def iprobe(self, ctx: ThreadCtx, source=ANY_SOURCE, tag=ANY_TAG, comm=0):
         """MPI_Iprobe: one progress poke, then a non-destructive check of

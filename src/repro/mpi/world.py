@@ -78,6 +78,11 @@ class ClusterConfig:
     #: Paper 9 future work: blocked waiters park on arrival/completion
     #: events instead of spinning in the progress loop.
     event_driven_wait: bool = False
+    #: Blocking-call completion strategy: "poll" (the paper's CS_YIELD
+    #: loops, bit-identity baseline) or "continuation" (waiters park on
+    #: the completion signal and only enter the critical section when
+    #: there are packets to progress -- see DESIGN.md section 11).
+    completion: str = "poll"
     #: Critical-section granularity: "global" (paper baseline) or
     #: "brief" (payload copies outside the CS, paper Fig. 1 / 7).
     cs_granularity: str = "global"
@@ -116,6 +121,11 @@ class ClusterConfig:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; valid schedulers: "
                 f"{', '.join(sorted(SCHEDULERS))}"
+            )
+        if self.completion not in ("poll", "continuation"):
+            raise ValueError(
+                f"unknown completion mode {self.completion!r}; valid "
+                f"modes: continuation, poll"
             )
         self.cs_granularity = CsGranularity.parse(self.cs_granularity)
         self.cs = parse_cs_policy(self.cs, n_ranks=self.n_ranks)
@@ -207,6 +217,7 @@ class Cluster:
                 eager_threshold=config.eager_threshold,
                 inline_threshold=config.inline_threshold,
                 event_driven_wait=config.event_driven_wait,
+                completion=config.completion,
                 cs_granularity=config.cs_granularity,
                 policy=policy,
                 domain_locks=locks,

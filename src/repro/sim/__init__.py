@@ -18,7 +18,7 @@ from .equeue import SCHEDULERS, CalendarQueue, EventQueue, HeapQueue, make_queue
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Interrupt, Process
 from .rng import RngStreams, stable_hash
-from .sync import Mailbox, Signal, SimBarrier, SimSemaphore
+from .sync import CompletionLatch, Mailbox, Signal, SimBarrier, SimSemaphore
 
 __all__ = [
     "Simulator",
@@ -36,6 +36,7 @@ __all__ = [
     "Interrupt",
     "RngStreams",
     "stable_hash",
+    "CompletionLatch",
     "Mailbox",
     "Signal",
     "SimBarrier",

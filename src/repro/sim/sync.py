@@ -14,7 +14,9 @@ from typing import Any
 from .engine import Simulator
 from .events import Event
 
-__all__ = ["Signal", "SimBarrier", "SimSemaphore", "Mailbox"]
+__all__ = [
+    "CompletionLatch", "Signal", "SimBarrier", "SimSemaphore", "Mailbox",
+]
 
 
 class Signal:
@@ -33,6 +35,72 @@ class Signal:
     def fire(self, value: Any = None) -> None:
         ev, self._event = self._event, self.sim.event(name=self.name)
         ev.succeed(value)
+
+
+class CompletionLatch:
+    """The degenerate-continuation condition behind the blocking calls.
+
+    A :class:`~repro.mpi.runtime.MpiRuntime` wait/test expresses "these
+    requests are done" as a latch over the request set: each pending
+    request carries a *sync* continuation that calls :meth:`fire` from
+    the runtime's completion path, so the caller reads two plain
+    counters (``n_pending`` / ``n_fired``) instead of re-scanning
+    request states.
+
+    The latch is **schedule-neutral until somebody waits**: counting
+    down touches no simulator state (no events, no time, no RNG), which
+    is what lets the refactored polling path reproduce the hand-rolled
+    loops bit-for-bit.  Continuation-mode waiters call :meth:`wait`,
+    which lazily arms a :class:`Signal` fired on every subsequent
+    count-down.
+    """
+
+    __slots__ = ("sim", "name", "n_pending", "n_fired", "_signal")
+
+    def __init__(self, sim: Simulator, n_pending: int = 0, name: str = ""):
+        if n_pending < 0:
+            raise ValueError(f"negative pending count {n_pending}")
+        self.sim = sim
+        self.name = name
+        #: Requests attached and not yet completed.
+        self.n_pending = n_pending
+        #: Completions observed (including ones already complete at
+        #: attach time, via :meth:`note_fired`).
+        self.n_fired = 0
+        self._signal: "Signal | None" = None
+
+    @property
+    def done(self) -> bool:
+        """True once every tracked request has completed."""
+        return self.n_pending == 0
+
+    @property
+    def any_fired(self) -> bool:
+        """True once at least one tracked request has completed."""
+        return self.n_fired > 0
+
+    def add(self, n: int = 1) -> None:
+        """Track ``n`` more pending completions."""
+        self.n_pending += n
+
+    def note_fired(self, n: int = 1) -> None:
+        """Account completions that happened before attach (an
+        already-complete request joins as fired, not pending)."""
+        self.n_fired += n
+
+    def fire(self, _req=None) -> None:
+        """One tracked completion (the sync-continuation callback)."""
+        self.n_pending -= 1
+        self.n_fired += 1
+        if self._signal is not None:
+            self._signal.fire()
+
+    def wait(self) -> Event:
+        """An event fired at the next completion (arms the signal)."""
+        if self._signal is not None:
+            return self._signal.wait()
+        self._signal = Signal(self.sim, name=self.name or "latch")
+        return self._signal.wait()
 
 
 class SimBarrier:

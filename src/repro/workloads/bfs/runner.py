@@ -7,7 +7,9 @@ across ranks; within a rank, threads cooperate on frontier expansion
 outgoing buffer per remote process, flushed with ``MPI_Isend`` when full,
 and polls its incoming receives with ``MPI_Test`` -- so every runtime
 entry is a main-path (HIGH priority) call, which is why the paper finds
-the priority lock indistinguishable from the ticket lock here.
+the priority lock indistinguishable from the ticket lock here.  Under
+``completion="continuation"`` the receive loop parks on the runtime's
+completion signal instead of the MPI_Test spin (see DESIGN.md §11).
 
 Real graph, real traversal: the frontier expansion operates on numpy CSR
 slices and the TEPS numbers come from the simulated clock through a
@@ -129,6 +131,7 @@ def _bfs_thread(cluster: Cluster, cfg: BfsConfig, st: _RankState,
                 th, tid: int, vpr: int, home_socket: int):
     P = cluster.n_ranks
     T = cluster.config.threads_per_rank
+    use_cont = cluster.config.completion == "continuation"
     numa = cfg.numa_compute_factor if th.ctx.socket != home_socket else 1.0
     edge_s = cfg.edge_ns * 1e-9 * numa
     vert_s = cfg.vertex_ns * 1e-9 * numa
@@ -197,11 +200,17 @@ def _bfs_thread(cluster: Cluster, cfg: BfsConfig, st: _RankState,
                     break
                 st.to_post -= 1
                 req = yield from th.irecv(source=ANY_SOURCE, tag=ltag)
-                while True:
-                    done = yield from th.test(req)
-                    if done:
-                        break
-                    yield th.compute(cfg.test_gap_ns * 1e-9)
+                if use_cont:
+                    # Continuation form: park until the runtime's
+                    # completion path fires instead of spinning
+                    # MPI_Test with compute gaps between polls.
+                    yield from th.wait(req)
+                else:
+                    while True:
+                        done = yield from th.test(req)
+                        if done:
+                            break
+                        yield th.compute(cfg.test_gap_ns * 1e-9)
                 verts = req.data - st.base
                 new = np.unique(verts[~st.visited[verts]])
                 if len(new):

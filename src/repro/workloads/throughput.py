@@ -8,6 +8,13 @@ thread's posted receive matches any incoming message from the sender --
 the wildcard-equivalent matching of 4.4.
 
 The reported metric is the aggregate message rate in 10^3 msgs/s.
+
+The per-window ``waitall`` dispatches on the cluster's completion mode
+(``ClusterConfig(completion=...)``): ``"poll"`` spins the paper's
+CS_YIELD loop, ``"continuation"`` parks each thread on the completion
+signal and skips the empty critical-section round-trips --
+``fig_continuations`` runs this benchmark under both to measure the
+difference.
 """
 
 from __future__ import annotations

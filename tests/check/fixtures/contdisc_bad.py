@@ -1,0 +1,13 @@
+"""Trigger fixture: continuation callbacks that perform blocking ops."""
+
+
+def resend_on_complete(req):
+    # A blocking wait inside a completion callback: the callback is a
+    # plain function running in the runtime's dispatch, it can never
+    # yield the wait's event.
+    req.runtime.waitall(req.ctx, [req])
+
+
+def install(req, rt, ctx, reqs):
+    req.attach_continuation(resend_on_complete)
+    req.attach_continuation(lambda r: rt.waitany(ctx, reqs))

@@ -1,0 +1,11 @@
+"""Pass fixture: continuation callbacks stay O(1) bookkeeping."""
+
+
+def note_completion(req):
+    req.runtime.completed_ids.append(req.req_id)
+
+
+def install(req, latch, log):
+    req.attach_continuation(note_completion)
+    req.attach_continuation(latch.fire, sync=True)
+    req.attach_continuation(lambda r: log.append(r.req_id))

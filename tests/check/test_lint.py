@@ -20,6 +20,7 @@ RULE_FIXTURES = {
     "obs-category": ("obscat_bad.py", "obscat_good.py"),
     "broad-except": ("broadexcept_bad.py", "broadexcept_good.py"),
     "queue-encapsulation": ("queueenc_bad.py", "queueenc_good.py"),
+    "continuation-discipline": ("contdisc_bad.py", "contdisc_good.py"),
 }
 
 
