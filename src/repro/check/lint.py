@@ -45,12 +45,14 @@ them as AST rules (stdlib :mod:`ast`, no new dependencies):
     silently diverges from the heap.
 ``continuation-discipline``
     Callbacks registered via ``attach_continuation`` fire inside the
-    runtime's completion dispatch: they are plain functions, not sim
-    processes, so a blocking call (``wait``/``waitall``/``waitany``/
-    ``acquire``) can never yield its event and would wedge or corrupt
-    the completion path.  Callbacks must stay O(1) bookkeeping; a
-    callback that needs to block should set a flag or fire a latch a
-    real process waits on.
+    runtime's completion dispatch; callbacks handed to the timer paths
+    (``sim.call_after``, ``DeadlineTimer.arm`` -- the deadline-expiry
+    machinery) fire inside the engine's dispatch loop.  Both are plain
+    functions, not sim processes, so a blocking call (``wait``/
+    ``waitall``/``waitany``/``acquire``) can never yield its event and
+    would wedge or corrupt the dispatch.  Callbacks must stay O(1)
+    bookkeeping; a callback that needs to block should set a flag or
+    fire a latch a real process waits on.
 
 Any finding is suppressible on its line with ``# simlint:
 disable=RULE`` (comma-separated rules, or ``all``).  Suppression is
@@ -678,9 +680,21 @@ _BLOCKING_ATTRS = frozenset({
 })
 
 
+#: Callback registration points -> positional index of the callback.
+#: ``attach_continuation(fn)`` is the completion path; ``call_after(
+#: delay, fn, *args)`` and ``DeadlineTimer.arm(at_s, fn, *args)`` are
+#: the timer paths (deadline expiry) -- all three dispatch the callback
+#: in the same no-blocking callback context.
+_CALLBACK_SITES = {
+    "attach_continuation": 0,
+    "call_after": 1,
+    "arm": 1,
+}
+
+
 @_rule("continuation-discipline")
 def _check_continuation_discipline(mod: _Module) -> Iterator[Finding]:
-    """continuation callbacks must not call blocking ops"""
+    """continuation/timer callbacks must not call blocking ops"""
     named = {fn.name: fn for fn in _functions(mod.tree)}
 
     def blocking_calls(roots: Sequence[ast.AST]) -> Iterator[ast.Call]:
@@ -697,10 +711,11 @@ def _check_continuation_discipline(mod: _Module) -> Iterator[Finding]:
         if not (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "attach_continuation"
+            and node.func.attr in _CALLBACK_SITES
         ):
             continue
-        cb = node.args[0] if node.args else None
+        idx = _CALLBACK_SITES[node.func.attr]
+        cb = node.args[idx] if len(node.args) > idx else None
         if cb is None:
             for kw in node.keywords:
                 if kw.arg == "fn":
@@ -717,10 +732,11 @@ def _check_continuation_discipline(mod: _Module) -> Iterator[Finding]:
             yield Finding(
                 mod.path, call.lineno, call.col_offset,
                 "continuation-discipline",
-                f"continuation callback calls blocking op "
-                f"{call.func.attr!r}; callbacks run inside the runtime's "
-                "completion dispatch and must not block (no "
-                "wait*/acquire) -- fire a latch a real process waits on",
+                f"callback registered via {node.func.attr!r} calls "
+                f"blocking op {call.func.attr!r}; completion and timer "
+                "callbacks run inside the runtime's dispatch and must "
+                "not block (no wait*/acquire) -- fire a latch or wake a "
+                "real process that does the blocking work",
             )
 
 

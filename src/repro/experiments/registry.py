@@ -17,6 +17,7 @@ from .fig11 import run_fig11a, run_fig11b
 from .fig12 import run_fig12b
 from .fig_chaos import run_fig_chaos
 from .fig_continuations import run_fig_continuations
+from .fig_service import run_fig_service
 from .fig_vci import run_fig_vci
 
 __all__ = ["EXPERIMENTS", "EXPERIMENT_TITLES", "ExperimentRunner", "run_experiment"]
@@ -54,6 +55,7 @@ EXPERIMENT_TITLES: Dict[str, str] = {
     "fig_vci": "per-VCI arbitration domains vs global-CS locks (beyond the paper)",
     "fig_chaos": "goodput vs packet drop with ACK/retransmit + watchdog (beyond the paper)",
     "fig_continuations": "continuation-driven completion vs wait polling (beyond the paper)",
+    "fig_service": "open-loop RPC service: overload protection vs collapse (beyond the paper)",
 }
 
 EXPERIMENTS: Dict[str, ExperimentRunner] = {
@@ -77,6 +79,7 @@ EXPERIMENTS: Dict[str, ExperimentRunner] = {
     "fig_vci": run_fig_vci,
     "fig_chaos": run_fig_chaos,
     "fig_continuations": run_fig_continuations,
+    "fig_service": run_fig_service,
 }
 
 

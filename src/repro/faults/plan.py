@@ -56,8 +56,13 @@ class LinkOutage:
     def __post_init__(self) -> None:
         if not 0.0 <= self.drop <= 1.0:
             raise ValueError(f"outage drop probability {self.drop} not in [0, 1]")
-        if self.end_s < self.start_s:
-            raise ValueError(f"outage window ends ({self.end_s}) before it starts")
+        if self.start_s < 0.0:
+            raise ValueError(f"outage window starts at negative time {self.start_s}")
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"outage window [{self.start_s}, {self.end_s}) is empty or "
+                f"inverted; windows must have positive length"
+            )
 
     def covers(self, t: float) -> bool:
         return self.start_s <= t < self.end_s
@@ -77,8 +82,13 @@ class InjectStall:
     def __post_init__(self) -> None:
         if self.extra_ns < 0.0:
             raise ValueError(f"negative stall {self.extra_ns}")
-        if self.end_s < self.start_s:
-            raise ValueError(f"stall window ends ({self.end_s}) before it starts")
+        if self.start_s < 0.0:
+            raise ValueError(f"stall window starts at negative time {self.start_s}")
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"stall window [{self.start_s}, {self.end_s}) is empty or "
+                f"inverted; windows must have positive length"
+            )
 
     def covers(self, t: float) -> bool:
         return self.start_s <= t < self.end_s
@@ -92,6 +102,10 @@ class RankCrash:
     rank: int
     at_s: float
 
+    def __post_init__(self) -> None:
+        if self.at_s < 0.0:
+            raise ValueError(f"crash scheduled at negative time {self.at_s}")
+
 
 @dataclass(frozen=True)
 class DomainFailure:
@@ -103,6 +117,35 @@ class DomainFailure:
     domain: int
     at_s: float
     fallback: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0.0:
+            raise ValueError(f"domain failure scheduled at negative time {self.at_s}")
+        if self.domain == self.fallback:
+            raise ValueError(
+                f"domain failure fallback ({self.fallback}) must differ from "
+                f"the failed domain"
+            )
+
+
+def _reject_overlaps(windows, key: str, what: str) -> None:
+    """Raise if two windows on the same ``key`` (node/rank) overlap.
+
+    Windows are half-open ``[start_s, end_s)``, so back-to-back windows
+    (one ending exactly where the next starts) are legal.
+    """
+    by_target: dict = {}
+    for w in windows:
+        by_target.setdefault(getattr(w, key), []).append(w)
+    for target, group in by_target.items():
+        group.sort(key=lambda w: (w.start_s, w.end_s))
+        for prev, cur in zip(group, group[1:]):
+            if cur.start_s < prev.end_s:
+                raise ValueError(
+                    f"overlapping {what} windows on {key} {target}: "
+                    f"[{prev.start_s}, {prev.end_s}) and "
+                    f"[{cur.start_s}, {cur.end_s})"
+                )
 
 
 @dataclass(frozen=True)
@@ -142,6 +185,10 @@ class FaultPlan:
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} probability {p} not in [0, 1]")
+        for name in ("reorder_delay_ns", "duplicate_gap_ns"):
+            v = getattr(self, name)
+            if v < 0.0:
+                raise ValueError(f"{name} must be >= 0, got {v}")
         if self.watchdog_grace < 1:
             raise ValueError(f"watchdog_grace must be >= 1, got {self.watchdog_grace}")
         # Accept lists for the schedule fields (ergonomics) but store
@@ -150,6 +197,11 @@ class FaultPlan:
             v = getattr(self, name)
             if not isinstance(v, tuple):
                 object.__setattr__(self, name, tuple(v))
+        # Overlapping windows on the same link are ill-defined (which
+        # drop probability applies?) and historically produced silent
+        # first-match-wins behavior mid-run; reject them at construction.
+        _reject_overlaps(self.outages, key="node", what="outage")
+        _reject_overlaps(self.stalls, key="rank", what="stall")
 
     # ------------------------------------------------------------------
     @property

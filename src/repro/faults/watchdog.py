@@ -52,6 +52,12 @@ class ProgressWatchdog:
         self.stalled = False
         #: Last dump taken (also carried by the raised error).
         self.diagnostics: Optional[dict] = None
+        #: Early-warning hooks: callables invoked as ``hook(frozen)``
+        #: once per stall episode, when the frozen-sample count first
+        #: reaches half the grace period -- before the abort, early
+        #: enough for a degraded-mode controller (:mod:`repro.robust`)
+        #: to start shedding load and perhaps avert the stall.
+        self.on_warning: list = []
         self._proc = None
         #: The pending interval timer (cancellable), None between samples.
         self._pending = None
@@ -84,6 +90,17 @@ class ProgressWatchdog:
                 total += rel.retransmits + rel.acks_received + rel.giveups
         return total
 
+    def _parked(self) -> int:
+        """Blocking calls parked on their runtime's activity signal.
+
+        Parked waiters (continuation / event-driven wait modes) hold no
+        event in the queue at all -- their wake-up is a bare Signal the
+        *next packet or completion* fires.  A fully-parked cluster
+        therefore shows ``queued_events == 0`` while threads still have
+        pending requests: that is a stall to diagnose, not a finished
+        run, so the idle check must see these waiters."""
+        return sum(rt.parked_waiters for rt in self.cluster.runtimes)
+
     def _loop(self):
         sim = self.cluster.sim
         last = self._metric()
@@ -94,11 +111,18 @@ class ProgressWatchdog:
             self._pending = None
             if self.cluster._shutdown:
                 return
-            if sim.queued_events == 0:
-                # No *live* event left but us: the run is over (or
-                # already deadlocked in a way run() reports itself).
-                # Dead (cancelled) timers still on the heap are not
-                # pending work and must not keep the watchdog sampling.
+            if sim.queued_events == 0 and self._parked() == 0:
+                # No *live* event left but us, and nobody parked on an
+                # activity signal: the run is over (or already
+                # deadlocked in a way run() reports itself).  Dead
+                # (cancelled) timers still on the heap are not pending
+                # work and must not keep the watchdog sampling.  With
+                # parked waiters the queue may legitimately run dry
+                # while the system is live-but-stuck (every waiter
+                # waiting on a packet that was dropped), so sampling
+                # continues until the grace period expires and the
+                # stall is diagnosed instead of surfacing as a generic
+                # out-of-events crash.
                 return
             cur = self._metric()
             if cur != last:
@@ -106,6 +130,9 @@ class ProgressWatchdog:
                 frozen = 0
                 continue
             frozen += 1
+            if frozen == max(1, self.grace // 2) and self.on_warning:
+                for hook in self.on_warning:
+                    hook(frozen)
             if frozen >= self.grace:
                 self.stalled = True
                 self.diagnostics = self._dump()

@@ -89,7 +89,7 @@ class RuntimeStats:
         "posted_hits", "unexpected_hits", "progress_polls",
         "empty_polls", "packets_handled", "cs_entries_main",
         "cs_entries_progress", "continuations_fired",
-        "wasted_acquisitions_avoided",
+        "wasted_acquisitions_avoided", "cancelled", "stale_rndv_data",
     )
 
     def __init__(self):
@@ -206,6 +206,17 @@ class MpiRuntime:
         #: re-routing map installed by :meth:`fail_domain`.
         self.failed_domains: set = set()
         self._vci_redirect: Dict[int, int] = {}
+        #: Blocking calls currently parked on the activity signal (the
+        #: continuation / event-driven wait modes).  A parked waiter has
+        #: pending requests, so a simulator whose event queue has run
+        #: dry while this is nonzero is *stuck*, not finished -- the
+        #: progress watchdog reads this as part of its liveness input.
+        self.parked_waiters = 0
+        #: Degraded-mode hooks: callables invoked as ``hook(index)``
+        #: whenever :meth:`fail_domain` declares a domain failed.  The
+        #: overload-protection layer (:mod:`repro.robust`) registers its
+        #: degraded-mode controllers here.
+        self.degrade_hooks: List = []
 
     # ==================================================================
     # Single-domain compatibility views
@@ -300,6 +311,8 @@ class MpiRuntime:
                       "moved_posted": moved_posted,
                       "moved_unexpected": moved_unexp},
             )
+        for hook in self.degrade_hooks:
+            hook(index)
 
     # ==================================================================
     # Routing
@@ -823,6 +836,54 @@ class MpiRuntime:
                                                        any_mode=True))
         return (yield from self._wait_poll(ctx, reqs, any_mode=True))
 
+    def cancel(self, ctx: ThreadCtx, req: Request):
+        """MPI_Cancel, receive side: withdraw a posted receive that will
+        never (or must no longer) be matched -- the deadline-expiry path
+        of the overload-protection layer (:mod:`repro.robust`).
+
+        Only receives are cancellable (send-side cancel is deprecated in
+        MPI-4 and was never reliably implementable).  Under the owning
+        domain's critical section the request is *claimed* (``match()``
+        skips claimed entries from that instant), withdrawn from the
+        posted queue(s), completed with ``error=True`` -- so latches and
+        continuations observe it exactly like a reliability give-up --
+        and freed.  Returns True if this call cancelled the request,
+        False if it lost the race (already complete: the request is
+        freed here all the same, so the caller never double-frees).
+        """
+        if req.kind is not ReqKind.RECV:
+            raise ValueError(
+                f"only receive requests can be cancelled, got {req!r}"
+            )
+        if req.freed:
+            return False
+        dom = self.domains[self._route(req.vci)]
+        yield from self._cs_acquire(dom, ctx, Priority.HIGH)
+        yield self._cs_time(dom, self.costs.cs_main)
+        if req._done:
+            # Completed while we queued for the lock: not cancelled --
+            # but free it here so the caller has one cleanup path.
+            if not req.freed:
+                self._free(req, ctx)
+            yield from self._cs_release(dom, ctx)
+            return False
+        # From here no packet can match it: claimed entries are skipped
+        # by match(); the posted entry in this domain is withdrawn now,
+        # stale postings in other domains (spanning wildcards) are
+        # discarded by _free under the owner-frees discipline.
+        req.claimed = True
+        if self.sim.obs is not None:
+            self._san(ctx, f"posted_q.d{dom.index}",
+                      guards=(dom.posted_q.guard,))
+        dom.posted_q.discard(req)
+        req.error = True
+        self._complete(req)
+        self._free(req, ctx)
+        self.stats.cancelled += 1
+        self._emit_queue_depths(dom)
+        yield from self._cs_release(dom, ctx)
+        return True
+
     # ------------------------------------------------------------------
     # The completion engines.  All six public blocking calls reduce to
     # these three bodies; completion itself is observed through the same
@@ -858,7 +919,9 @@ class MpiRuntime:
                 # Nothing to progress: park until a packet arrives or a
                 # request completes (no sim time passes between this
                 # check and the wait, so no wake-up can be missed).
+                self.parked_waiters += 1
                 yield self._activity.wait()
+                self.parked_waiters -= 1
                 yield self.sim.timeout(self.costs.event_wakeup)
             else:
                 gap = self.costs.progress_gap * (0.5 + self._rng.random())
@@ -947,7 +1010,9 @@ class MpiRuntime:
                         self.stats.wasted_acquisitions_avoided,
                         rank=self.rank,
                     )
+                self.parked_waiters += 1
                 yield self._activity.wait()
+                self.parked_waiters -= 1
                 yield self.sim.timeout(self.costs.event_wakeup)
                 continue
             yield from self._cs_acquire(dom, ctx, Priority.LOW)
@@ -1189,7 +1254,14 @@ class MpiRuntime:
                 self._rel.track(data_pkt, req)
         elif kind is PacketKind.RNDV_DATA:
             recv_req_id, data, _sender_vci = pkt.payload
-            req = self.requests[recv_req_id]
+            req = self.requests.get(recv_req_id)
+            if req is None:
+                # The receive was cancelled (deadline expiry) after its
+                # CTS went out; the data raced the cancellation and
+                # loses.  Count it -- a silent drop here would hide a
+                # protocol bug in a run without cancellations.
+                self.stats.stale_rndv_data += 1
+                return
             if self.sim.obs is not None:
                 self._san(
                     ctx, f"requests[{recv_req_id}]",
@@ -1282,6 +1354,9 @@ class MpiThread:
 
     def waitany(self, reqs):
         return self.runtime.waitany(self.ctx, reqs)
+
+    def cancel(self, req):
+        return self.runtime.cancel(self.ctx, req)
 
     def iprobe(self, source=ANY_SOURCE, tag=ANY_TAG, comm=0):
         return self.runtime.iprobe(self.ctx, source=source, tag=tag, comm=comm)

@@ -27,7 +27,7 @@ __all__ = ["EventKind", "ObsEvent", "CATEGORIES"]
 
 #: The categories used by the built-in emitters.  Subscribers may filter
 #: on any subset; unknown categories are legal (the bus is open).
-CATEGORIES = ("sim", "lock", "mpi", "net", "fault", "check", "meta")
+CATEGORIES = ("sim", "lock", "mpi", "net", "fault", "check", "service", "meta")
 
 
 class EventKind(enum.Enum):

@@ -1,0 +1,114 @@
+"""The degraded-mode state machine.
+
+Admission control reacts to *queue* signals; degraded mode reacts to
+*liveness* signals: the progress watchdog's early warning (half the
+grace period with no cluster-wide progress -- see
+:attr:`repro.faults.watchdog.ProgressWatchdog.on_warning`) and
+arbitration-domain failovers
+(:attr:`repro.mpi.runtime.MpiRuntime.degrade_hooks`).  Either signal
+means the runtime is struggling in a way queue depth alone does not
+show, so the server immediately sheds a deterministic fraction of
+traffic to drain the backlog and let progress resume.
+
+State diagram (DESIGN.md section 12)::
+
+    NORMAL --signal--> DEGRADED --streak ok--> RECOVERING --streak ok--> NORMAL
+       ^                  ^   \\                    |
+       |                  |    <----- signal ------+
+       +--- (never sheds) +
+
+Hysteresis: entry is immediate (one signal), exit is staged -- the
+controller must observe ``exit_streak`` consecutive admitted requests
+to step down one level, and any new signal snaps it straight back to
+DEGRADED.  Shedding is deterministic modular arithmetic (every
+``shed_every``-th request in DEGRADED, every ``recover_shed_every``-th
+in RECOVERING), not a coin flip, preserving the replay contract.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["DegradeState", "DegradedModeController"]
+
+
+class DegradeState(enum.Enum):
+    NORMAL = "normal"
+    DEGRADED = "degraded"
+    RECOVERING = "recovering"
+
+
+class DegradedModeController:
+    """Hysteretic load shedding driven by liveness signals."""
+
+    __slots__ = ("shed_every", "recover_shed_every", "exit_streak",
+                 "state", "signals", "shed", "passed", "_counter", "_streak")
+
+    def __init__(
+        self,
+        shed_every: int = 2,
+        recover_shed_every: int = 4,
+        exit_streak: int = 64,
+    ):
+        if shed_every < 2 or recover_shed_every < 2:
+            raise ValueError(
+                f"shed_every/recover_shed_every must be >= 2 (got "
+                f"{shed_every}/{recover_shed_every}): shedding everything "
+                f"would starve the streak that ends degraded mode"
+            )
+        if exit_streak < 1:
+            raise ValueError(f"exit_streak must be >= 1, got {exit_streak}")
+        #: Shed every k-th request while DEGRADED / RECOVERING.
+        self.shed_every = shed_every
+        self.recover_shed_every = recover_shed_every
+        #: Consecutive admits needed to step down one level.
+        self.exit_streak = exit_streak
+        self.state = DegradeState.NORMAL
+        #: Lifetime counters (result accounting).
+        self.signals = 0
+        self.shed = 0
+        self.passed = 0
+        self._counter = 0
+        self._streak = 0
+
+    # -- signal side (callback context: bookkeeping only) --------------
+    def note_signal(self, info=None) -> None:
+        """A liveness signal fired.  Accepts one ignored positional so
+        it plugs directly into both hook shapes (``hook(frozen)`` from
+        the watchdog, ``hook(index)`` from ``fail_domain``)."""
+        self.signals += 1
+        self.state = DegradeState.DEGRADED
+        self._streak = 0
+        self._counter = 0
+
+    # -- decision side (called once per arriving request) --------------
+    def should_shed(self) -> bool:
+        """Deterministic shed decision for the next request; advances
+        the hysteresis streak as a side effect."""
+        if self.state is DegradeState.NORMAL:
+            self.passed += 1
+            return False
+        period = (
+            self.shed_every if self.state is DegradeState.DEGRADED
+            else self.recover_shed_every
+        )
+        self._counter += 1
+        if self._counter % period == 0:
+            self.shed += 1
+            return True
+        self.passed += 1
+        self._streak += 1
+        if self._streak >= self.exit_streak:
+            self._streak = 0
+            self.state = (
+                DegradeState.RECOVERING
+                if self.state is DegradeState.DEGRADED
+                else DegradeState.NORMAL
+            )
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<DegradedModeController {self.state.value} signals={self.signals} "
+            f"shed={self.shed}>"
+        )

@@ -7,9 +7,18 @@
 * :mod:`bfs`        -- Graph500 BFS kernel (paper 6.2.1)
 * :mod:`stencil`    -- 3D 7-point heat stencil (paper 6.2.2)
 * :mod:`assembly`   -- mini SWAP genome assembler (paper 6.3)
+* :mod:`service`    -- open-loop RPC service with overload protection
+  (:mod:`repro.robust`; DESIGN.md section 12)
 """
 
 from .latency import LatencyConfig, LatencyResult, run_latency
+from .service import (
+    ServiceConfig,
+    ServiceResult,
+    arrival_times,
+    run_service,
+    service_cluster,
+)
 from .n2n import N2NConfig, N2NResult, run_n2n
 from .rma_bench import RmaConfig, RmaResult, run_rma
 from .throughput import (
@@ -33,4 +42,9 @@ __all__ = [
     "RmaConfig",
     "RmaResult",
     "run_rma",
+    "ServiceConfig",
+    "ServiceResult",
+    "arrival_times",
+    "run_service",
+    "service_cluster",
 ]

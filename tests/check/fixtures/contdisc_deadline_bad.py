@@ -1,0 +1,18 @@
+"""Trigger fixture: deadline-expiry timer callbacks that block.
+
+The deadline-expiry path registers callbacks through ``sim.call_after``
+and ``DeadlineTimer.arm``; both fire in the engine's dispatch loop,
+the same no-blocking context as completion continuations.
+"""
+
+
+def expire_and_reap(th, rec):
+    # Blocking cancellation inside a timer callback: the callback is
+    # not a sim process, the wait's event can never be yielded.
+    th.waitall([r for _s, r in rec.attempts])
+
+
+def install(sim, timer, th, rec, deadline_s, lock):
+    sim.call_after(250e-6, expire_and_reap, th, rec)
+    timer.arm(deadline_s, expire_and_reap, th, rec)
+    timer.arm(deadline_s, lambda: lock.acquire())

@@ -1,0 +1,13 @@
+"""Pass fixture: deadline-expiry timer callbacks stay O(1) bookkeeping
+and wake a real process that does the blocking cancellation."""
+
+
+def on_deadline(st, rec):
+    st.actions.append(("due", rec))
+    st.wake.fire()
+
+
+def install(sim, timer, st, rec, deadline_s):
+    sim.call_after(250e-6, on_deadline, st, rec)
+    timer.arm(deadline_s, on_deadline, st, rec)
+    timer.arm(deadline_s, lambda: st.wake.fire())

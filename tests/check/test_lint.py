@@ -72,6 +72,29 @@ def test_slots_names_the_missing_attribute():
     assert flagged == {"Leaky.c", "Child.extra"}
 
 
+def test_contdisc_covers_deadline_timer_callbacks():
+    # The deadline-expiry machinery registers callbacks via
+    # sim.call_after and DeadlineTimer.arm; both run in the same
+    # no-blocking dispatch context as completion continuations, and the
+    # rule must see all three registration points.
+    findings = run_lint(
+        [str(FIXTURES / "contdisc_deadline_bad.py")],
+        select=["continuation-discipline"],
+    )
+    assert len(findings) == 3
+    assert {f.rule for f in findings} == {"continuation-discipline"}
+    msgs = " | ".join(f.message for f in findings)
+    assert "'call_after'" in msgs
+    assert "'arm'" in msgs
+
+
+def test_contdisc_deadline_good_fixture_is_clean():
+    findings = run_lint(
+        [str(FIXTURES / "contdisc_deadline_good.py")],
+    )
+    assert findings == [], format_findings(findings)
+
+
 def test_suppression_comments_silence_findings():
     findings = run_lint([str(FIXTURES / "suppressed.py")])
     assert findings == [], format_findings(findings)

@@ -114,3 +114,91 @@ def test_with_overrides():
     plan = FaultPlan(drop=0.01)
     assert plan.with_overrides(drop=0.02).drop == 0.02
     assert plan.drop == 0.01  # frozen original untouched
+
+
+# ----------------------------------------------------------------------
+# Window and schedule validation (hardened with the robustness layer)
+# ----------------------------------------------------------------------
+def test_window_start_must_be_non_negative():
+    with pytest.raises(ValueError, match="negative time"):
+        LinkOutage(0, start_s=-0.1, end_s=1.0)
+    with pytest.raises(ValueError, match="negative time"):
+        InjectStall(0, start_s=-0.1, end_s=1.0)
+
+
+def test_zero_length_window_rejected():
+    with pytest.raises(ValueError, match="empty or inverted"):
+        LinkOutage(0, start_s=1.0, end_s=1.0)
+    with pytest.raises(ValueError, match="empty or inverted"):
+        InjectStall(0, start_s=1.0, end_s=1.0)
+
+
+def test_crash_and_domain_failure_times_validated():
+    with pytest.raises(ValueError, match="negative time"):
+        RankCrash(0, at_s=-1.0)
+    with pytest.raises(ValueError, match="negative time"):
+        DomainFailure(0, 1, at_s=-1.0)
+
+
+def test_domain_failure_fallback_must_differ():
+    with pytest.raises(ValueError, match="fallback"):
+        DomainFailure(0, domain=1, at_s=0.5, fallback=1)
+    assert DomainFailure(0, domain=1, at_s=0.5, fallback=0).fallback == 0
+
+
+def test_overlapping_outages_on_same_node_rejected():
+    with pytest.raises(ValueError, match="overlapping outage"):
+        FaultPlan(outages=(
+            LinkOutage(0, 0.0, 2.0),
+            LinkOutage(0, 1.0, 3.0),
+        ))
+
+
+def test_overlapping_stalls_on_same_rank_rejected():
+    with pytest.raises(ValueError, match="overlapping stall"):
+        FaultPlan(stalls=(
+            InjectStall(1, 0.5, 1.5),
+            InjectStall(1, 1.0, 2.0),
+        ))
+
+
+def test_identical_windows_are_overlapping():
+    with pytest.raises(ValueError, match="overlapping"):
+        FaultPlan(outages=(
+            LinkOutage(0, 0.0, 1.0),
+            LinkOutage(0, 0.0, 1.0),
+        ))
+
+
+def test_back_to_back_windows_are_legal():
+    # Half-open windows: one ending exactly where the next starts.
+    plan = FaultPlan(outages=(
+        LinkOutage(0, 0.0, 1.0),
+        LinkOutage(0, 1.0, 2.0),
+    ))
+    assert len(plan.outages) == 2
+
+
+def test_overlap_check_is_per_target():
+    # The same windows on different nodes/ranks never conflict.
+    plan = FaultPlan(
+        outages=(LinkOutage(0, 0.0, 2.0), LinkOutage(1, 1.0, 3.0)),
+        stalls=(InjectStall(0, 0.0, 2.0), InjectStall(1, 1.0, 3.0)),
+    )
+    assert plan.active
+
+
+def test_overlap_check_sorts_before_comparing():
+    # Declaration order must not matter.
+    with pytest.raises(ValueError, match="overlapping"):
+        FaultPlan(outages=(
+            LinkOutage(0, 5.0, 6.0),
+            LinkOutage(0, 0.0, 9.0),
+        ))
+
+
+def test_negative_delay_knobs_rejected():
+    with pytest.raises(ValueError, match="reorder_delay_ns"):
+        FaultPlan(reorder_delay_ns=-1.0)
+    with pytest.raises(ValueError, match="duplicate_gap_ns"):
+        FaultPlan(duplicate_gap_ns=-1.0)

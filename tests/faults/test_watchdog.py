@@ -168,3 +168,54 @@ def test_backoff_quiet_period_is_not_a_stall():
     cl.run_workload([sender(), receiver()])
     assert got == list(range(16))
     assert not cl.watchdog.stalled
+
+
+def test_parked_waiters_under_total_loss_are_a_stall_not_idle():
+    """Regression: event-driven waiters park on a bare activity Signal
+    and hold no event in the queue.  Under total loss the queue runs
+    dry while every thread is parked on a packet that will never come;
+    the watchdog's idle check must see the parked waiters and keep
+    sampling until it aborts, instead of mistaking the dry queue for a
+    finished run and letting the hang surface as a generic
+    out-of-events crash (or a silent success)."""
+    cl = Cluster(ClusterConfig(
+        n_nodes=2, ranks_per_node=1, threads_per_rank=1, lock="mutex",
+        seed=9, event_driven_wait=True,
+        faults=FaultPlan(drop=1.0, watchdog_interval_ns=20_000.0,
+                         watchdog_grace=3),
+    ))
+    with pytest.raises(ProgressStallError):
+        cl.run_workload(_lost_message_workload(cl))
+    assert cl.watchdog.stalled
+    assert cl.watchdog.diagnostics is not None
+
+
+def test_on_warning_fires_before_the_abort():
+    """The early-warning hook (half the grace period) runs exactly once
+    per stall episode, before the ProgressStallError -- the degraded-
+    mode controller's trigger."""
+    cl = _lossy_cluster()
+    warned = []
+    cl.watchdog.on_warning.append(warned.append)
+    with pytest.raises(ProgressStallError):
+        cl.run_workload(_lost_message_workload(cl))
+    assert warned == [max(1, cl.watchdog.grace // 2)]
+
+
+def test_on_warning_not_fired_on_healthy_runs():
+    cl = Cluster(ClusterConfig(
+        n_nodes=2, ranks_per_node=1, threads_per_rank=1, lock="ticket",
+        seed=4, faults=FaultPlan(reorder=1.0),
+    ))
+    warned = []
+    cl.watchdog.on_warning.append(warned.append)
+    t0, t1 = cl.thread(0), cl.thread(1)
+
+    def sender():
+        yield from t0.send(1, 256, tag=0, data="hi")
+
+    def receiver():
+        yield from t1.recv(source=0, tag=0)
+
+    cl.run_workload([sender(), receiver()])
+    assert warned == []

@@ -1,0 +1,93 @@
+"""The degraded-mode state machine: hysteresis and deterministic shedding."""
+
+import pytest
+
+from repro.robust import DegradedModeController, DegradeState
+
+
+def drain(ctrl, n):
+    """Run n shed decisions, return how many were shed."""
+    return sum(1 for _ in range(n) if ctrl.should_shed())
+
+
+def test_normal_never_sheds():
+    ctrl = DegradedModeController()
+    assert drain(ctrl, 1000) == 0
+    assert ctrl.state is DegradeState.NORMAL
+    assert ctrl.passed == 1000
+
+
+def test_signal_enters_degraded_and_sheds_modularly():
+    ctrl = DegradedModeController(shed_every=2, exit_streak=10_000)
+    ctrl.note_signal()
+    assert ctrl.state is DegradeState.DEGRADED
+    assert ctrl.signals == 1
+    # Every 2nd request shed, deterministically.
+    decisions = [ctrl.should_shed() for _ in range(8)]
+    assert decisions == [False, True, False, True, False, True, False, True]
+
+
+def test_signal_accepts_both_hook_shapes():
+    # watchdog.on_warning calls hook(frozen); degrade_hooks call
+    # hook(index); both must land in the same controller.
+    ctrl = DegradedModeController()
+    ctrl.note_signal(3)      # watchdog shape
+    ctrl.note_signal()       # bare call
+    assert ctrl.signals == 2
+    assert ctrl.state is DegradeState.DEGRADED
+
+
+def test_staged_recovery_degraded_to_recovering_to_normal():
+    ctrl = DegradedModeController(shed_every=2, recover_shed_every=4,
+                                  exit_streak=4)
+    ctrl.note_signal()
+    # 4 consecutive *admits* step down one level; with shed_every=2
+    # every other decision sheds and resets nothing (only signals reset
+    # the streak), so 8 decisions bank the 4 admits.
+    drain(ctrl, 8)
+    assert ctrl.state is DegradeState.RECOVERING
+    # RECOVERING sheds every 4th and needs another streak to clear.
+    drain(ctrl, 6)
+    assert ctrl.state is DegradeState.NORMAL
+    assert drain(ctrl, 100) == 0  # fully recovered
+
+
+def test_new_signal_snaps_back_to_degraded_and_resets_streak():
+    ctrl = DegradedModeController(shed_every=2, exit_streak=4)
+    ctrl.note_signal()
+    drain(ctrl, 8)
+    assert ctrl.state is DegradeState.RECOVERING
+    ctrl.note_signal()
+    assert ctrl.state is DegradeState.DEGRADED
+    # Streak restarts: 3 admits (6 decisions minus sheds) are not enough.
+    drain(ctrl, 6)
+    assert ctrl.state is DegradeState.DEGRADED
+
+
+def test_recovering_sheds_lighter_than_degraded():
+    shed_deg = DegradedModeController(shed_every=2, exit_streak=10_000)
+    shed_deg.note_signal()
+    shed_rec = DegradedModeController(shed_every=2, recover_shed_every=4,
+                                      exit_streak=1)
+    shed_rec.note_signal()
+    shed_rec.should_shed()  # one admit: exit_streak=1 -> RECOVERING
+    assert shed_rec.state is DegradeState.RECOVERING
+    assert drain(shed_deg, 100) > drain(shed_rec, 100)
+
+
+def test_counters_account_every_decision():
+    ctrl = DegradedModeController(shed_every=3, exit_streak=10_000)
+    ctrl.note_signal()
+    n = 99
+    shed = drain(ctrl, n)
+    assert ctrl.shed == shed
+    assert ctrl.passed == n - shed
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DegradedModeController(shed_every=1)  # would starve the streak
+    with pytest.raises(ValueError):
+        DegradedModeController(recover_shed_every=0)
+    with pytest.raises(ValueError):
+        DegradedModeController(exit_streak=0)
