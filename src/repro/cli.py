@@ -13,6 +13,8 @@
     python -m repro lint                     # simlint over src/repro
     python -m repro lint --list-rules        # rule catalogue
     python -m repro sanitize fig2 --quick    # lockset-sanitize fig2a+fig2b
+    python -m repro ablate --experiments fig2 --jobs 2 --report
+                                             # component ablation matrix
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ from typing import Optional, Sequence
 
 from .analysis import format_table
 from .experiments import EXPERIMENTS, run_experiment
-from .experiments.registry import EXPERIMENT_TITLES
+from .experiments.registry import EXPERIMENT_TITLES, select_experiments
 from .locks import LOCK_CLASSES
 from .machine import MachineSpec
 
@@ -47,9 +49,21 @@ def _cmd_run(args) -> int:
               file=sys.stderr)
         return 2
     failed = []
+    errored = []
     results = []
     for name in names:
-        res = run_experiment(name, quick=not args.paper, seed=args.seed)
+        # One raising experiment must not eat the rest of a sweep (or
+        # the whole JSON payload): record it, keep going, exit non-zero.
+        try:
+            res = run_experiment(name, quick=not args.paper, seed=args.seed)
+        except Exception as exc:
+            errored.append(name)
+            entry = {"exp_id": name, "error": f"{type(exc).__name__}: {exc}"}
+            if args.format == "json":
+                results.append(entry)
+            else:
+                print(f"[{name}] ERROR: {entry['error']}", file=sys.stderr)
+            continue
         if args.format == "json":
             results.append(res.to_dict())
         else:
@@ -60,10 +74,11 @@ def _cmd_run(args) -> int:
     if args.format == "json":
         payload = results[0] if args.name != "all" else results
         print(json.dumps(payload, indent=2))
+    if errored:
+        print(f"experiments ERRORED: {', '.join(errored)}", file=sys.stderr)
     if failed:
         print(f"shape checks FAILED for: {', '.join(failed)}", file=sys.stderr)
-        return 1
-    return 0
+    return 1 if (failed or errored) else 0
 
 
 def _cmd_trace(args) -> int:
@@ -180,12 +195,8 @@ def _cmd_lint(args) -> int:
 def _cmd_sanitize(args) -> int:
     from .check.sanitize import sanitize_experiment
 
-    if args.name == "all":
-        names = list(EXPERIMENTS)
-    else:
-        # Prefix expansion: "fig2" covers fig2a and fig2b.
-        names = [n for n in EXPERIMENTS
-                 if n == args.name or n.startswith(args.name)]
+    # Prefix expansion: "fig2" covers fig2a and fig2b.
+    names = select_experiments(args.name)
     if not names:
         print(f"unknown experiment {args.name!r}; try `python -m repro list`",
               file=sys.stderr)
@@ -208,6 +219,48 @@ def _cmd_sanitize(args) -> int:
     return 0
 
 
+def _cmd_ablate(args) -> int:
+    from .analysis.ablation import (
+        COMPONENTS,
+        build_matrix,
+        importance_report,
+        run_matrix,
+    )
+
+    names = select_experiments(args.experiments)
+    if not names:
+        print(f"unknown experiment {args.experiments!r}; "
+              "try `python -m repro list`", file=sys.stderr)
+        return 2
+    components = None
+    if args.components:
+        components = [c.strip() for c in args.components.split(",") if c.strip()]
+    try:
+        cells = build_matrix(
+            names, components=components, seed=args.seed,
+            quick=not args.paper, pairwise=args.pairwise,
+        )
+    except ValueError as exc:
+        print(f"ablate: error: {exc}", file=sys.stderr)
+        return 2
+    comp_names = components or list(COMPONENTS)
+    print(f"ablating {len(comp_names)} components over "
+          f"{len(names)} experiment(s): {', '.join(names)}")
+    records = run_matrix(
+        cells, jobs=args.jobs, journal_path=args.journal, progress=print,
+    )
+    n_failed = sum(r.get("status") == "failed" for r in records)
+    n_checkfail = sum(
+        r.get("status") == "ok" and not r.get("ok", True) for r in records
+    )
+    print(f"done: {len(records)} cells, {n_failed} failed, "
+          f"{n_checkfail} with failing shape checks")
+    if args.report:
+        print()
+        print(importance_report(records))
+    return 1 if n_failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -220,11 +273,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run an experiment (or 'all')")
     run_p.add_argument("name")
-    run_p.add_argument("--quick", action="store_true",
-                       help="reduced sweep sizes (the default; --paper overrides)")
-    run_p.add_argument("--paper", action="store_true",
-                       help="paper-scale parameters (slow)")
-    run_p.add_argument("--seed", type=int, default=1)
+    run_mode = run_p.add_mutually_exclusive_group()
+    run_mode.add_argument("--quick", action="store_true",
+                          help="reduced sweep sizes (the default)")
+    run_mode.add_argument("--paper", action="store_true",
+                          help="paper-scale parameters (slow)")
+    run_p.add_argument("--seed", type=int, default=0,
+                       help="master RNG seed (default 0, matching "
+                            "run_experiment's default)")
     run_p.add_argument("--format", choices=("table", "json"), default="table",
                        help="output format (json uses ExperimentResult.to_dict)")
     run_p.set_defaults(fn=_cmd_run)
@@ -237,7 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="Chrome trace output path (default: trace.json)")
     tr.add_argument("--paper", action="store_true",
                     help="paper-scale parameters (slow)")
-    tr.add_argument("--seed", type=int, default=1)
+    tr.add_argument("--seed", type=int, default=0,
+                    help="master RNG seed (default 0, matching "
+                         "run_experiment's default)")
     tr.add_argument("--categories",
                     default=",".join(("lock", "mpi", "net", "fault", "meta")),
                     help="comma-separated event categories to record "
@@ -272,7 +330,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="simulator event-queue implementation; both give "
                          "bit-identical schedules, calendar batches "
                          "dispatch for speed (default: heap)")
-    tp.add_argument("--seed", type=int, default=1)
+    tp.add_argument("--seed", type=int, default=0,
+                    help="master RNG seed (default 0, matching the "
+                         "experiment runners)")
     tp.set_defaults(fn=_cmd_throughput)
 
     lint_p = sub.add_parser(
@@ -295,12 +355,45 @@ def build_parser() -> argparse.ArgumentParser:
     san_p.add_argument("name",
                        help="experiment name, prefix ('fig2' = fig2a+fig2b) "
                             "or 'all'")
-    san_p.add_argument("--quick", action="store_true",
-                       help="reduced sweep sizes (the default; --paper overrides)")
-    san_p.add_argument("--paper", action="store_true",
-                       help="paper-scale parameters (slow)")
-    san_p.add_argument("--seed", type=int, default=1)
+    san_mode = san_p.add_mutually_exclusive_group()
+    san_mode.add_argument("--quick", action="store_true",
+                          help="reduced sweep sizes (the default)")
+    san_mode.add_argument("--paper", action="store_true",
+                          help="paper-scale parameters (slow)")
+    san_p.add_argument("--seed", type=int, default=0,
+                       help="master RNG seed (default 0, matching "
+                            "run_experiment's default)")
     san_p.set_defaults(fn=_cmd_sanitize)
+
+    ab = sub.add_parser(
+        "ablate",
+        help="run a component-ablation matrix (baseline + leave-one-out) "
+             "and rank components by metric impact")
+    ab.add_argument("--experiments", default="all", metavar="PREFIX",
+                    help="experiment selector: exact name, prefix "
+                         "('fig2' = fig2a+fig2b) or 'all' (default)")
+    ab.add_argument("--components", default=None, metavar="NAMES",
+                    help="comma-separated component subset (default: all; "
+                         "see repro.analysis.ablation.COMPONENTS)")
+    ab.add_argument("--pairwise", action="store_true",
+                    help="also generate pairwise (two components off) cells")
+    ab.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes (the DES is single-threaded; "
+                         "cells are embarrassingly parallel)")
+    ab.add_argument("--journal", default=None, metavar="PATH",
+                    help="JSONL journal: completed cells are appended and "
+                         "skipped on re-run (resumable sweeps)")
+    ab.add_argument("--report", action="store_true",
+                    help="print the ranked component-importance report")
+    ab_mode = ab.add_mutually_exclusive_group()
+    ab_mode.add_argument("--quick", action="store_true",
+                         help="reduced sweep sizes (the default)")
+    ab_mode.add_argument("--paper", action="store_true",
+                         help="paper-scale parameters (slow)")
+    ab.add_argument("--seed", type=int, default=0,
+                    help="master RNG seed baked into every run ID "
+                         "(default 0)")
+    ab.set_defaults(fn=_cmd_ablate)
     return ap
 
 

@@ -24,15 +24,28 @@ def jsonable(obj: Any) -> Any:
     Experiment ``data`` mixes numpy scalars/arrays, tuple-keyed dicts
     and result dataclasses; this flattens all of them (tuple keys
     become comma-joined strings) so ``--format json`` never chokes.
+
+    Key coercion can collide -- ``(1, 2)`` and ``"1,2"`` (or ``1`` and
+    ``"1"``) both coerce to the same JSON key.  Silently keeping one
+    value would corrupt the payload, so a collision raises ``ValueError``
+    naming both originals.
     """
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
     if isinstance(obj, dict):
-        return {
-            (",".join(str(p) for p in k) if isinstance(k, tuple) else str(k)):
-                jsonable(v)
-            for k, v in obj.items()
-        }
+        out = {}
+        seen = {}
+        for k, v in obj.items():
+            key = ",".join(str(p) for p in k) if isinstance(k, tuple) else str(k)
+            if key in out:
+                raise ValueError(
+                    f"jsonable: keys {seen[key]!r} and {k!r} both coerce to "
+                    f"JSON key {key!r}; one value would be silently dropped "
+                    "-- disambiguate the keys before serializing"
+                )
+            seen[key] = k
+            out[key] = jsonable(v)
+        return out
     if isinstance(obj, (list, tuple, set, frozenset)):
         seq = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) else obj
         return [jsonable(v) for v in seq]

@@ -20,7 +20,13 @@ from .fig_continuations import run_fig_continuations
 from .fig_service import run_fig_service
 from .fig_vci import run_fig_vci
 
-__all__ = ["EXPERIMENTS", "EXPERIMENT_TITLES", "ExperimentRunner", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "EXPERIMENT_TITLES",
+    "ExperimentRunner",
+    "run_experiment",
+    "select_experiments",
+]
 
 
 class ExperimentRunner(Protocol):
@@ -81,6 +87,19 @@ EXPERIMENTS: Dict[str, ExperimentRunner] = {
     "fig_continuations": run_fig_continuations,
     "fig_service": run_fig_service,
 }
+
+
+def select_experiments(name: str) -> list:
+    """Expand an experiment selector to registry names, in registry order.
+
+    ``"all"`` selects everything; otherwise ``name`` matches exactly or
+    as a prefix (``"fig2"`` covers ``fig2a`` and ``fig2b``).  Returns an
+    empty list for a selector matching nothing -- callers decide whether
+    that is an error (the CLI does).
+    """
+    if name == "all":
+        return list(EXPERIMENTS)
+    return [n for n in EXPERIMENTS if n == name or n.startswith(name)]
 
 
 #: Keyword arguments every runner accepts (the uniform signature).

@@ -16,11 +16,21 @@ runtime executes the exact pre-reliability instruction stream):
   receiver re-sends the cached CTS (covering a lost CTS), so every leg
   of the rendezvous handshake recovers.  The CTS requires a software
   match, so RTS recovery -- unlike data ACKs -- runs at progress-engine
-  latency.
+  latency.  The receiving NIC also acks the RTS *at delivery* (like
+  data): a delivery-confirmed RTS is in the peer's queues, so only the
+  software match stands between the sender and its CTS -- the sender
+  downshifts to a slow refresh (still covering a CTS lost on the wire
+  via the receiver's replay cache) and stops counting retries toward
+  give-up.  Without that distinction a contended receiver -- e.g. every
+  small message forced through rendezvous at 8 threads -- looks
+  identical to a dead one, and the sender fails deliverable requests on
+  a lossless fabric while the receiver's matched recvs wait forever.
 * Retransmit timers back off exponentially (``rto * backoff**retries``)
   under a configurable budget (``max_retries`` and ``budget_ns``); on
   exhaustion the request is failed (``Request.error``) and completed so
   its owner unblocks -- the watchdog is the backstop, not the only exit.
+  ``max_retries`` bounds *suspected loss* (no delivery confirmation);
+  ``budget_ns`` is the only cap that can fail a delivery-confirmed RTS.
 
 Timers are cancellable simulator callbacks (``Simulator.call_after``
 handles): an ACK/CTS calls :meth:`Event.cancel` on the pending timer, so
@@ -109,12 +119,16 @@ class _Unacked:
     """One tracked in-flight packet and its retransmit state."""
 
     __slots__ = ("pkt", "req", "retries", "timer", "t0", "is_rts",
-                 "base_rto_ns")
+                 "base_rto_ns", "delivered")
 
     def __init__(self, pkt, req, now, base_rto_ns, is_rts=False):
         self.pkt = pkt
         self.req = req
         self.retries = 0
+        #: Some copy of this packet reached the peer's NIC (RTS only:
+        #: data packets complete outright on their ACK).  Once set, the
+        #: retry counter stops feeding give-up -- the packet is not lost.
+        self.delivered = False
         #: Pending retransmit timer: the cancellable handle returned by
         #: ``Simulator.call_after`` (None between firing and re-arm).
         self.timer = None
@@ -130,7 +144,7 @@ class ReliabilityLayer:
     """Per-rank ACK/retransmit state machine, owned by an MpiRuntime."""
 
     __slots__ = ("rt", "cfg", "stats", "unacked", "rts_pending", "seen",
-                 "cts_cache")
+                 "cts_cache", "rts_by_seq")
 
     def __init__(self, runtime, config: Optional[ReliabilityConfig] = None):
         self.rt = runtime
@@ -140,6 +154,9 @@ class ReliabilityLayer:
         self.unacked: Dict[int, _Unacked] = {}
         #: RTS packets awaiting a CTS, by sender request id.
         self.rts_pending: Dict[int, _Unacked] = {}
+        #: The same entries by wire sequence number, so a NIC-level RTS
+        #: delivery ack (payload = seq) can find them.
+        self.rts_by_seq: Dict[int, _Unacked] = {}
         #: ``(src_rank, seq)`` of every data/RTS packet already processed
         #: (duplicate absorption).
         self.seen: Set[Tuple[int, int]] = set()
@@ -184,12 +201,19 @@ class ReliabilityLayer:
         e = _Unacked(pkt, req, self.rt.sim.now,
                      self._base_rto_ns(is_rts=True), is_rts=True)
         self.rts_pending[pkt.payload.req_id] = e
+        self.rts_by_seq[pkt.seq] = e
         self.stats.tracked += 1
         self._arm(e)
 
     def _arm(self, e: _Unacked) -> None:
         ceiling = max(self.cfg.rto_max_ns, e.base_rto_ns)
-        rto = min(e.base_rto_ns * (self.cfg.backoff ** e.retries), ceiling)
+        if e.is_rts and e.delivered:
+            # Delivery-confirmed: slow refresh at the ceiling, enough to
+            # replay a CTS that died on the wire without storming a
+            # merely-contended receiver.
+            rto = ceiling
+        else:
+            rto = min(e.base_rto_ns * (self.cfg.backoff ** e.retries), ceiling)
         e.timer = self.rt.sim.call_after(rto * 1e-9, self._on_timer, e)
 
     @staticmethod
@@ -207,10 +231,14 @@ class ReliabilityLayer:
             self.cfg.budget_ns > 0.0
             and (self.rt.sim.now - e.t0) * 1e9 >= self.cfg.budget_ns
         )
-        if e.retries >= self.cfg.max_retries or over_budget:
+        # A delivery-confirmed RTS is waiting on the peer's *software*
+        # match, not the wire: latency must not exhaust the loss budget.
+        suspected_loss = not e.delivered
+        if over_budget or (suspected_loss and e.retries >= self.cfg.max_retries):
             self._give_up(e)
             return
-        e.retries += 1
+        if suspected_loss:
+            e.retries += 1
         self.stats.retransmits += 1
         obs = self.rt.sim.obs
         if obs is not None and obs.wants("fault"):
@@ -231,6 +259,7 @@ class ReliabilityLayer:
         self.stats.giveups += 1
         if e.is_rts:
             self.rts_pending.pop(e.pkt.payload.req_id, None)
+            self.rts_by_seq.pop(e.pkt.seq, None)
             self.rt._pending_sends.pop(e.pkt.payload.req_id, None)
         else:
             self.unacked.pop(e.pkt.seq, None)
@@ -250,7 +279,15 @@ class ReliabilityLayer:
     def on_ack(self, seq: int) -> None:
         e = self.unacked.pop(seq, None)
         if e is None:
-            self.stats.dup_acks += 1
+            # Not data: maybe an RTS delivery confirmation.  It does not
+            # complete anything (only the CTS does), it reclassifies the
+            # handshake from possibly-lost to merely-slow.
+            e = self.rts_by_seq.get(seq)
+            if e is not None and not e.delivered:
+                e.delivered = True
+                self.stats.acks_received += 1
+            else:
+                self.stats.dup_acks += 1
             return
         self._disarm(e)
         self.stats.acks_received += 1
@@ -263,6 +300,7 @@ class ReliabilityLayer:
         e = self.rts_pending.pop(sender_req_id, None)
         if e is not None:
             self._disarm(e)
+            self.rts_by_seq.pop(e.pkt.seq, None)
             self.stats.acks_received += 1
 
     # ==================================================================
@@ -287,6 +325,11 @@ class ReliabilityLayer:
             if dup:
                 self.stats.dup_data += 1
             return dup
+        if kind is PacketKind.RTS:
+            # Delivery-confirm the handshake at wire latency; matching
+            # (and duplicate absorption) stays in :meth:`pre_handle` --
+            # the packet passes through to the progress engine.
+            self._send_ack(pkt)
         return False
 
     def pre_handle(self, pkt: Packet) -> bool:
@@ -322,8 +365,8 @@ class ReliabilityLayer:
         self.cts_cache[(dest, sender_req_id)] = (recv_req_id, recv_vci, sender_vci)
 
     def _send_ack(self, pkt: Packet) -> None:
-        if pkt.kind is PacketKind.EAGER:
-            ack_vci = pkt.payload.vci
+        if pkt.kind is PacketKind.EAGER or pkt.kind is PacketKind.RTS:
+            ack_vci = pkt.payload.vci  # _EagerInfo / _RndvInfo
         else:  # RNDV_DATA payload is (recv_req_id, data, sender_vci)
             ack_vci = pkt.payload[2]
         ack = Packet(

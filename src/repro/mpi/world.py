@@ -38,6 +38,7 @@ from ..machine import (
 )
 from ..network import Fabric, NetworkConfig
 from ..obs import Instrument
+from ..overrides import cluster_overrides, get_override
 from ..sim import SCHEDULERS, Simulator
 from .collectives import Communicator
 from .runtime import MpiRuntime, MpiThread
@@ -107,6 +108,12 @@ class ClusterConfig:
     reliability: "ReliabilityConfig | bool | None" = None
 
     def __post_init__(self) -> None:
+        # Ablation seam: forced component values (repro.overrides) win
+        # over whatever the runner passed, and then go through the same
+        # validation/parsing as explicit arguments.  The table is empty
+        # outside ablation runs, making this a no-op.
+        for _key, _value in cluster_overrides().items():
+            setattr(self, _key, _value)
         if self.lock not in LOCK_CLASSES:
             raise ValueError(
                 f"unknown lock {self.lock!r}; valid locks: "
@@ -255,7 +262,9 @@ class Cluster:
                     df.at_s, self.runtimes[df.rank].fail_domain,
                     df.domain, df.fallback,
                 )
-            if plan.watchdog_interval_ns > 0.0:
+            # get_override("watchdog"): the ablation harness can force
+            # the watchdog off to measure what it buys (repro.overrides).
+            if plan.watchdog_interval_ns > 0.0 and get_override("watchdog", True):
                 self.watchdog = ProgressWatchdog(
                     self, plan.watchdog_interval_ns * 1e-9,
                     grace=plan.watchdog_grace,

@@ -112,7 +112,17 @@ class RobustConfig:
         degrade: bool = True,
         retry: Optional[RetryPolicy] = None,
     ) -> "RobustConfig":
-        """The standard all-remedies-on preset."""
+        """The standard all-remedies-on preset.
+
+        The ablation harness can force the whole preset off
+        (``repro.overrides`` key ``"robust"``): experiments keep calling
+        ``protected(...)`` and get the everything-off config instead,
+        measuring what the protection layer as a whole buys.
+        """
+        from ..overrides import get_override
+
+        if not get_override("robust", True):
+            return cls.none()
         return cls(
             deadline_ns=deadline_ns,
             retry=retry if retry is not None else RetryPolicy(),

@@ -103,6 +103,54 @@ def test_give_up_fails_request_and_unblocks_waiter():
     assert rel.retransmits == 2  # the full retry budget was spent
 
 
+def test_contended_rndv_not_mistaken_for_loss():
+    """Regression (found by the ablation harness's no-eager cell): with
+    every message forced through rendezvous, a receiver that is slow to
+    match -- eight threads funneling through the critical section -- must
+    not exhaust the sender's RTS retry budget.  The RTS is *delivered*
+    (NIC-level ack); only the software CTS is pending.  Before the
+    delivery-confirmation downshift the sender gave up on a lossless
+    fabric and the receiver's already-matched recvs waited forever."""
+    from repro.workloads.throughput import (
+        ThroughputConfig, run_throughput, throughput_cluster,
+    )
+
+    cl = throughput_cluster(
+        lock="mutex", threads_per_rank=8, seed=0,
+        eager_threshold=0,
+        # Tight budget: without delivery confirmation this gives up fast.
+        reliability=ReliabilityConfig(rto_ns=2000.0, max_retries=2),
+    )
+    res = run_throughput(cl, ThroughputConfig(msg_size=1, n_windows=1))
+    assert res.msg_rate_k > 0
+    for rt in cl.runtimes:
+        assert rt.rel_stats.giveups == 0, \
+            "software match latency exhausted the loss budget"
+    assert all(r.complete and not r.error
+               for rt in cl.runtimes for r in rt.requests.values())
+
+
+def test_undelivered_rts_still_gives_up():
+    """The delivery-confirmation downshift must not weaken outage
+    semantics: an RTS that never reaches the peer's NIC (total loss)
+    exhausts max_retries exactly as before."""
+    cl = make_cluster(
+        faults=FaultPlan(drop=1.0, watchdog_interval_ns=0.0),
+        reliability=ReliabilityConfig(rto_ns=2000.0, max_retries=2),
+    )
+    t0 = cl.thread(0)
+    out = {}
+
+    def sender():
+        req = yield from t0.isend(1, 64 * 1024, tag=0, data="doomed")
+        out["req"] = req
+        yield from t0.wait(req)
+
+    cl.run_workload([sender()])
+    assert out["req"].complete and out["req"].error
+    assert cl.runtimes[0].rel_stats.giveups == 1
+
+
 def test_reliability_off_is_default():
     cl = make_cluster()
     assert all(rt.rel_stats is None for rt in cl.runtimes)

@@ -1,0 +1,52 @@
+"""Regression tests for jsonable key coercion (experiments.base).
+
+A tuple key ``(1, 2)`` and a string key ``"1,2"`` (or ``1`` vs ``"1"``)
+coerce to the same JSON key; jsonable used to silently keep whichever
+came last.  It now raises instead of corrupting the payload.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.base import jsonable
+
+
+def test_tuple_keys_coerce_to_joined_strings():
+    assert jsonable({(1, 2): "a", (1, 4): "b"}) == {"1,2": "a", "1,4": "b"}
+
+
+def test_tuple_vs_string_collision_raises():
+    with pytest.raises(ValueError, match="collision|coerce"):
+        jsonable({(1, 2): "a", "1,2": "b"})
+
+
+def test_int_vs_string_collision_raises():
+    with pytest.raises(ValueError, match="collision|coerce"):
+        jsonable({1: "a", "1": "b"})
+
+
+def test_collision_error_names_both_keys():
+    with pytest.raises(ValueError) as exc:
+        jsonable({(1, 2): "a", "1,2": "b"})
+    msg = str(exc.value)
+    assert "(1, 2)" in msg and "'1,2'" in msg
+
+
+def test_nested_collision_detected():
+    with pytest.raises(ValueError):
+        jsonable({"outer": {("x",): 1, "x": 2}})
+
+
+def test_distinct_keys_unaffected():
+    out = jsonable({("a", 1): {"n": 1}, "b": [1, 2], 3: None})
+    assert out == {"a,1": {"n": 1}, "b": [1, 2], "3": None}
+
+
+def test_dataclasses_and_sets_still_flatten():
+    @dataclasses.dataclass
+    class P:
+        x: int
+        ys: frozenset
+
+    assert jsonable(P(x=1, ys=frozenset({2, 1}))) == {"x": 1, "ys": [1, 2]}
