@@ -1,26 +1,64 @@
-"""repro.check -- correctness tooling for the reproduction.
+"""repro.check -- the simcheck correctness suite for the reproduction.
 
-Two complementary halves, both repo-specific (generic tools cannot know
-that runtime state is sharded into arbitration domains or that the whole
-simulation must stay deterministic):
+Three complementary tools, all repo-specific (generic tools cannot know
+that runtime state is sharded into arbitration domains or that the
+whole simulation must stay deterministic):
 
-* **simlint** (:mod:`repro.check.lint`) -- an AST-based static analyzer
-  (``python -m repro lint``) enforcing the coding discipline every perf
-  PR relies on: no unseeded randomness, no wall-clock reads, generator
-  yield discipline, lock acquire/release pairing, ``__slots__``
-  completeness, and valid observability categories.
+* **simlint** (:mod:`repro.check.lint`) -- an AST-based *intraprocedural*
+  static analyzer (``python -m repro lint``) enforcing the coding
+  discipline every perf PR relies on: no unseeded randomness, no
+  wall-clock reads, generator yield discipline, lock acquire/release
+  pairing, ``__slots__`` completeness, valid observability categories,
+  queue encapsulation, and non-blocking continuation callbacks.
+* **deadcheck** (:mod:`repro.check.deadcheck`) -- an *interprocedural*
+  static analyzer (``python -m repro deadcheck``) over the shared call
+  graph (:mod:`repro.check.graph`): computes the lock-acquisition-order
+  graph, reports order cycles as potential deadlocks and blocking
+  operations transitively reachable under a held lock.  Its *runtime
+  half* (in :mod:`repro.check.sanitize`) checks a waits-for graph for
+  cycles at watchdog early-warning / idle-stall, and witnesses observed
+  lock-order edges at grant time so ``--order-witness`` can diff the
+  static graph against reality.
 * **simsan** (:mod:`repro.check.sanitize`) -- an Eraser-style *runtime*
   lockset sanitizer (``python -m repro sanitize``): annotated accesses
   to shared runtime state are checked against the lockset actually held
   by the executing :class:`~repro.machine.threads.ThreadCtx`, and any
   access whose candidate lockset goes empty is reported.
 
-Both are observation-only: neither perturbs simulated time, RNG streams
-or the event schedule (pinned by ``tests/check/test_sanitizer.py``).
+All three are observation-only: none perturbs simulated time, RNG
+streams or the event schedule (pinned by
+``tests/check/test_sanitizer.py``).  Findings share one suppression
+mechanism (``# simcheck: disable=RULE`` / legacy ``# simlint:``
+spelling) and one exit-code convention (0 clean / 1 findings / 2 tool
+error).
 """
 
-from .lint import Finding, LintError, RULES, format_findings, run_lint
-from .sanitize import CellReport, LocksetSanitizer, Violation, sanitize_experiment
+from .deadcheck import (
+    DeadcheckError,
+    DeadcheckResult,
+    classify_witness,
+    format_report,
+    run_deadcheck,
+)
+from .graph import CallGraph, GraphError, SourceModule
+from .lint import (
+    Finding,
+    LintError,
+    RULES,
+    format_findings,
+    format_findings_json,
+    run_lint,
+)
+from .sanitize import (
+    CellReport,
+    DeadlockDetector,
+    LocksetSanitizer,
+    OrderWitness,
+    Violation,
+    WaitsForGraph,
+    run_order_witness,
+    sanitize_experiment,
+)
 
 __all__ = [
     "Finding",
@@ -28,8 +66,21 @@ __all__ = [
     "RULES",
     "run_lint",
     "format_findings",
+    "format_findings_json",
+    "CallGraph",
+    "GraphError",
+    "SourceModule",
+    "DeadcheckError",
+    "DeadcheckResult",
+    "run_deadcheck",
+    "classify_witness",
+    "format_report",
     "LocksetSanitizer",
     "Violation",
     "CellReport",
     "sanitize_experiment",
+    "WaitsForGraph",
+    "DeadlockDetector",
+    "OrderWitness",
+    "run_order_witness",
 ]

@@ -55,21 +55,27 @@ them as AST rules (stdlib :mod:`ast`, no new dependencies):
     fire a latch a real process waits on.
 
 Any finding is suppressible on its line with ``# simlint:
-disable=RULE`` (comma-separated rules, or ``all``).  Suppression is
-line-scoped and rule-scoped by design: blanket waivers hide new bugs.
+disable=RULE`` (comma-separated rules, or ``all``; ``# simcheck:
+disable=`` is an interchangeable spelling shared with deadcheck).
+Suppression is line-scoped and rule-scoped by design: blanket waivers
+hide new bugs.
 """
 
 from __future__ import annotations
 
 import ast
-import re
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..obs.events import CATEGORIES
+from .graph import CallGraph, GraphError, SourceModule, iter_py_files
 
-__all__ = ["Finding", "LintError", "RULES", "run_lint", "format_findings"]
+__all__ = [
+    "Finding", "LintError", "RULES", "run_lint", "format_findings",
+    "format_findings_json",
+]
 
 
 class LintError(RuntimeError):
@@ -98,35 +104,31 @@ def format_findings(findings: Sequence[Finding]) -> str:
     return "\n".join(out)
 
 
+def format_findings_json(findings: Sequence[Finding]) -> str:
+    """One JSON record per line: ``{path, line, col, rule, message}``.
+
+    Machine-readable (CI annotations); no summary line, so an empty
+    finding list formats to the empty string."""
+    return "\n".join(json.dumps(asdict(f), sort_keys=True) for f in findings)
+
+
 # ======================================================================
 # Per-file context
 # ======================================================================
 
-_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([\w,\- ]+)")
+class _Module(SourceModule):
+    """Parsed source plus the line-scoped suppression table.
 
-
-class _Module:
-    """Parsed source plus the line-scoped suppression table."""
+    The parsing and suppression machinery lives in
+    :class:`repro.check.graph.SourceModule` (shared with deadcheck);
+    this subclass only maps parse failures onto :class:`LintError`.
+    """
 
     def __init__(self, path: str, source: str):
-        self.path = path
         try:
-            self.tree = ast.parse(source, filename=path)
+            super().__init__(path, source)
         except SyntaxError as exc:
             raise LintError(f"{path}: cannot parse: {exc}") from exc
-        #: line number -> set of suppressed rule names (or {"all"}).
-        self.suppressed: Dict[int, set] = {}
-        for i, line in enumerate(source.splitlines(), start=1):
-            m = _SUPPRESS_RE.search(line)
-            if m:
-                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-                self.suppressed[i] = rules
-
-    def allows(self, finding: Finding) -> bool:
-        rules = self.suppressed.get(finding.line)
-        if not rules:
-            return True
-        return finding.rule not in rules and "all" not in rules
 
 
 # ======================================================================
@@ -692,22 +694,55 @@ _CALLBACK_SITES = {
 }
 
 
+#: Recursion cap for transitive callback checking: the repo's callback
+#: chains are 1-2 calls deep; 6 bounds pathological fixture graphs.
+_CALLBACK_DEPTH = 6
+
+
 @_rule("continuation-discipline")
 def _check_continuation_discipline(mod: _Module) -> Iterator[Finding]:
     """continuation/timer callbacks must not call blocking ops"""
-    named = {fn.name: fn for fn in _functions(mod.tree)}
+    graph = CallGraph.for_module(mod)
 
-    def blocking_calls(roots: Sequence[ast.AST]) -> Iterator[ast.Call]:
-        for root in roots:
-            for n in ast.walk(root):
-                if (
-                    isinstance(n, ast.Call)
-                    and isinstance(n.func, ast.Attribute)
-                    and n.func.attr in _BLOCKING_ATTRS
+    def blocking_calls(roots, scope, seen, depth=0):
+        """(call, via-chain) for blocking ops reachable from ``roots``,
+        following calls the graph can resolve (``self.method``, locally
+        defined ``def``s, module functions)."""
+        if depth > _CALLBACK_DEPTH:
+            return
+        stack = list(roots)
+        while stack:
+            n = stack.pop()
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+                # Nested defs/lambdas only run if called; calls to the
+                # resolvable ones are followed at their call sites.
+                continue
+            stack.extend(ast.iter_child_nodes(n))
+            if not isinstance(n, ast.Call):
+                continue
+            if (
+                isinstance(n.func, ast.Attribute)
+                and n.func.attr in _BLOCKING_ATTRS
+            ):
+                yield n, ()  # simlint: disable=yield-discipline
+                continue
+            callee = graph.resolve_call(n, scope)
+            if callee is not None and callee.key not in seen:
+                seen.add(callee.key)
+                for call, via in blocking_calls(
+                    callee.node.body, callee, seen, depth + 1,
                 ):
-                    yield n
+                    yield call, (callee.name,) + via  # simlint: disable=yield-discipline
 
-    for node in ast.walk(mod.tree):
+    def scoped_nodes():
+        for node in _own_nodes(mod.tree):
+            yield None, node  # simlint: disable=yield-discipline
+        for fi in graph.functions_of(mod):
+            for node in _own_nodes(fi.node):
+                yield fi, node  # simlint: disable=yield-discipline
+
+    for scope, node in scoped_nodes():
         if not (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Attribute)
@@ -723,20 +758,25 @@ def _check_continuation_discipline(mod: _Module) -> Iterator[Finding]:
                     break
         if isinstance(cb, ast.Lambda):
             roots: Sequence[ast.AST] = (cb.body,)
-        elif isinstance(cb, ast.Name) and cb.id in named:
-            roots = named[cb.id].body
+            cb_scope, seen = scope, set()
         else:
-            # Bound methods / unresolvable expressions: nothing to prove.
-            continue
-        for call in blocking_calls(roots):
+            fi = graph.resolve_callable(cb, scope) if cb is not None else None
+            if fi is None:
+                # Unresolvable expressions (callables from data
+                # structures, externals): nothing to prove.
+                continue
+            roots = fi.node.body
+            cb_scope, seen = fi, {fi.key}
+        for call, via in blocking_calls(roots, cb_scope, seen):
+            through = f" (via {' -> '.join(via)})" if via else ""
             yield Finding(
                 mod.path, call.lineno, call.col_offset,
                 "continuation-discipline",
                 f"callback registered via {node.func.attr!r} calls "
-                f"blocking op {call.func.attr!r}; completion and timer "
-                "callbacks run inside the runtime's dispatch and must "
-                "not block (no wait*/acquire) -- fire a latch or wake a "
-                "real process that does the blocking work",
+                f"blocking op {call.func.attr!r}{through}; completion and "
+                "timer callbacks run inside the runtime's dispatch and "
+                "must not block (no wait*/acquire) -- fire a latch or "
+                "wake a real process that does the blocking work",
             )
 
 
@@ -747,19 +787,10 @@ def _check_continuation_discipline(mod: _Module) -> Iterator[Finding]:
 def _iter_py_files(
     paths: Iterable[str], exclude: Iterable[str] = ()
 ) -> Iterator[Path]:
-    skip = [Path(e).resolve() for e in exclude]
-    for raw in paths:
-        p = Path(raw)
-        if p.is_dir():
-            for f in sorted(p.rglob("*.py")):
-                r = f.resolve()
-                if any(s == r or s in r.parents for s in skip):
-                    continue
-                yield f
-        elif p.is_file():
-            yield p
-        else:
-            raise LintError(f"no such file or directory: {raw}")
+    try:
+        yield from iter_py_files(paths, exclude)
+    except GraphError as exc:
+        raise LintError(str(exc)) from exc
 
 
 def run_lint(
@@ -770,7 +801,12 @@ def run_lint(
     """Lint every ``.py`` file under ``paths`` with the selected rules
     (default: all).  Directories named in ``exclude`` are skipped during
     directory walks (explicit file arguments always lint).  Returns
-    surviving (unsuppressed) findings sorted by location."""
+    surviving (unsuppressed) findings sorted by location.
+
+    Raises :class:`LintError` -- never a raw traceback -- for a missing
+    path, an unreadable file (permissions, non-UTF-8 bytes), or a
+    syntax error: all the exit-code-2 paths of ``python -m repro
+    lint``."""
     if select is None:
         rules = dict(RULES)
     else:
@@ -783,7 +819,11 @@ def run_lint(
             rules[name] = RULES[name]
     findings: List[Finding] = []
     for path in _iter_py_files(paths, exclude):
-        mod = _Module(str(path), path.read_text(encoding="utf-8"))
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise LintError(f"{path}: cannot read: {exc}") from exc
+        mod = _Module(str(path), source)
         for fn in rules.values():
             findings.extend(f for f in fn(mod) if mod.allows(f))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))

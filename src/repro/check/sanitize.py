@@ -33,14 +33,33 @@ it".  Accesses by a cell's declared owner thread therefore do not
 refine the candidate set -- the owner may touch its own request/queue
 entry lock-free by design, exactly like Eraser's first-thread
 exemption.
+
+Deadcheck's runtime half also lives here (same bus, same ``check``
+category):
+
+* :class:`WaitsForGraph` / :class:`DeadlockDetector` -- a waits-for
+  graph built from live simulator state (thread->lock edges from
+  :meth:`SimLock.waiting_threads`, lock->owner edges from the grant
+  bookkeeping, thread->condition edges from parked
+  :class:`~repro.sim.sync.Signal`/``CompletionLatch`` waiters), checked
+  for cycles at watchdog early-warning and when the simulation goes
+  idle with live threads.  Cycles dump as ``deadlock.cycle`` instants.
+* :class:`OrderWitness` / :func:`run_order_witness` -- collects the
+  ``order.edge`` instants :meth:`SimLock._grant` emits (lock A held
+  while B granted) so ``repro deadcheck --order-witness`` can diff the
+  *observed* order graph against the *static* one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-__all__ = ["LocksetSanitizer", "Violation", "CellReport", "sanitize_experiment"]
+__all__ = [
+    "LocksetSanitizer", "Violation", "CellReport", "sanitize_experiment",
+    "WaitsForGraph", "DeadlockDetector", "OrderWitness",
+    "run_order_witness",
+]
 
 #: Cap on stored per-violation detail (counts keep accumulating past it).
 _MAX_STORED = 100
@@ -178,6 +197,242 @@ class LocksetSanitizer:
         return "\n".join(lines)
 
 
+# ======================================================================
+# Deadcheck runtime half: waits-for graph + order witness
+# ======================================================================
+
+class WaitsForGraph:
+    """A snapshot waits-for graph over live simulator state.
+
+    Nodes are ``(kind, id)`` with human labels; edges:
+
+    * thread -> lock: the thread is inside ``acquire`` and not granted
+      (:meth:`SimLock.waiting_threads`),
+    * lock -> thread: the lock's current owner,
+    * thread -> condition: the thread is parked on a Signal/latch
+      (``wait(ctx=...)`` registration).
+
+    A strongly-connected component of size > 1 is a (potential)
+    deadlock: every member waits on another member.  Condition nodes
+    have no outgoing edges, so they never *create* cycles -- they are
+    in the graph so a stalled-parked thread shows up in dumps.
+    """
+
+    def __init__(self) -> None:
+        self._adj: Dict[Tuple[str, int], Set[Tuple[str, int]]] = {}
+        self._labels: Dict[Tuple[str, int], str] = {}
+        self._seen_locks: Set[int] = set()
+
+    # -- construction ---------------------------------------------------
+    def _node(self, kind: str, key: int, label: str) -> Tuple[str, int]:
+        node = (kind, key)
+        self._labels.setdefault(node, label)
+        self._adj.setdefault(node, set())
+        return node
+
+    def add_lock(self, lock) -> None:
+        if id(lock) in self._seen_locks:
+            return
+        self._seen_locks.add(id(lock))
+        ln = self._node("lock", id(lock), lock.name)
+        owner = lock.owner
+        if owner is not None:
+            self._adj[ln].add(self._node("thread", owner.tid, owner.name))
+        for ctx in lock.waiting_threads():
+            tn = self._node("thread", ctx.tid, ctx.name)
+            self._adj[tn].add(ln)
+        for sub in lock.sub_locks():
+            self.add_lock(sub)
+
+    def add_condition(self, cond, label: str = "") -> None:
+        waiters = getattr(cond, "waiters", ())
+        if not waiters:
+            return
+        cn = self._node(
+            "cond", id(cond), label or getattr(cond, "name", "") or "signal"
+        )
+        for ctx in waiters:
+            tn = self._node("thread", ctx.tid, ctx.name)
+            self._adj[tn].add(cn)
+
+    # -- queries --------------------------------------------------------
+    def label(self, node: Tuple[str, int]) -> str:
+        return self._labels.get(node, f"{node[0]}#{node[1]}")
+
+    def cycles(self) -> List[List[Tuple[str, int]]]:
+        """SCCs of size > 1, deterministically ordered by label."""
+        order = sorted(self._adj, key=lambda n: (self.label(n), n[0]))
+        index: Dict[Tuple[str, int], int] = {}
+        low: Dict[Tuple[str, int], int] = {}
+        on_stack: Set[Tuple[str, int]] = set()
+        stack: List[Tuple[str, int]] = []
+        out: List[List[Tuple[str, int]]] = []
+        counter = [0]
+
+        def neighbors(n):
+            return sorted(self._adj[n], key=lambda m: (self.label(m), m[0]))
+
+        for root in order:
+            if root in index:
+                continue
+            work = [(root, iter(neighbors(root)))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in index:
+                        index[nxt] = low[nxt] = counter[0]
+                        counter[0] += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, iter(neighbors(nxt))))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        low[node] = min(low[node], index[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.append(w)
+                        if w == node:
+                            break
+                    if len(comp) > 1:
+                        out.append(
+                            sorted(comp, key=lambda n: (self.label(n), n[0]))
+                        )
+        return out
+
+    def describe(self, cycle: List[Tuple[str, int]]) -> str:
+        """``a -> b -> ... -> a`` walking actual edges of the cycle."""
+        members = set(cycle)
+        walk = [cycle[0]]
+        while True:
+            nxts = [
+                m for m in sorted(
+                    self._adj[walk[-1]], key=lambda n: (self.label(n), n[0])
+                )
+                if m in members
+            ]
+            nxt = next((m for m in nxts if m not in walk), None)
+            if nxt is None:
+                break
+            walk.append(nxt)
+        return " -> ".join(self.label(n) for n in walk + [walk[0]])
+
+
+class DeadlockDetector:
+    """Wires waits-for cycle checks into a cluster's failure paths.
+
+    :meth:`attach` hooks the progress watchdog's early warning (half
+    the grace period -- before the abort) and the cluster's
+    idle-with-live-threads path (``Cluster.on_idle_stall``).  Detected
+    cycles are recorded on :attr:`cycles`, emitted as ``check``-category
+    ``deadlock.cycle`` instants, and merged into the watchdog's stall
+    dump under ``"waits_for_cycles"``.
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        #: Human-readable cycle descriptions, in detection order
+        #: (deduplicated: one entry per distinct cycle).
+        self.cycles: List[str] = []
+        self.checks = 0
+
+    def attach(self) -> "DeadlockDetector":
+        wd = self.cluster.watchdog
+        if wd is not None:
+            wd.on_warning.append(self._on_warning)
+            wd.diagnostic_hooks.append(self._diagnostics)
+        self.cluster.on_idle_stall = self._on_idle
+        return self
+
+    # -- snapshot -------------------------------------------------------
+    def graph(self) -> WaitsForGraph:
+        g = WaitsForGraph()
+        for rt in self.cluster.runtimes:
+            for dom in rt.domains:
+                g.add_lock(dom.lock)
+            g.add_condition(rt._activity, label=f"activity@rank{rt.rank}")
+        # Locks held or contended outside the domain set (workload locks
+        # from examples/benchmarks, composed inner tickets reach here
+        # via sub_locks()).
+        for group in self.cluster.threads:
+            for th in group:
+                for lk in th.ctx.held:
+                    g.add_lock(lk)
+        return g
+
+    def check(self, reason: str) -> List[str]:
+        self.checks += 1
+        g = self.graph()
+        found = [g.describe(c) for c in g.cycles()]
+        fresh = [c for c in found if c not in self.cycles]
+        self.cycles.extend(fresh)
+        if found:
+            obs = self.cluster.sim.obs
+            if obs is not None and obs.wants("check"):
+                for desc in found:
+                    obs.instant(
+                        "check", "deadlock.cycle",
+                        args={"reason": reason, "cycle": desc},
+                    )
+        return found
+
+    # -- hook targets ---------------------------------------------------
+    def _on_warning(self, _frozen: int) -> None:
+        self.check("watchdog-warning")
+
+    def _on_idle(self) -> None:
+        self.check("idle-with-live-threads")
+
+    def _diagnostics(self) -> dict:
+        return {"waits_for_cycles": list(self.cycles)}
+
+
+class OrderWitness:
+    """Collects runtime lock-order edges (``order.edge`` instants).
+
+    Edges are keyed by witness *family* (rank/shard decorations
+    stripped, ``order_class`` overrides honoured) so one logical edge
+    observed on any rank matches one static edge.  ``names`` keeps an
+    example concrete pair per family edge for reporting."""
+
+    def __init__(self) -> None:
+        #: (held_family, acquired_family) -> observation count.
+        self.edges: Dict[Tuple[str, str], int] = {}
+        #: family edge -> one concrete (held_name, acquired_name) pair.
+        self.names: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def attach(self, bus) -> "OrderWitness":
+        bus.subscribe(self._on_event, categories=("check",))
+        return self
+
+    def _on_event(self, ev) -> None:
+        if ev.name != "order.edge":
+            return
+        args = ev.args or {}
+        acquired = args.get("acquired", "?")
+        held_names = args.get("held_names", ())
+        for i, held in enumerate(args.get("held", ())):
+            key = (held, acquired)
+            self.edges[key] = self.edges.get(key, 0) + 1
+            if key not in self.names:
+                hname = held_names[i] if i < len(held_names) else held
+                self.names[key] = (hname, args.get("acquired_name", acquired))
+
+
 @dataclass
 class SanitizeResult:
     """What :func:`sanitize_experiment` hands back to the CLI."""
@@ -198,3 +453,16 @@ def sanitize_experiment(name: str, quick: bool = True, seed: int = 1):
     san = LocksetSanitizer().attach(bus)
     result = run_experiment(name, quick=quick, seed=seed, obs=bus)
     return SanitizeResult(name=name, sanitizer=san, result=result)
+
+
+def run_order_witness(name: str, quick: bool = True, seed: int = 1):
+    """Run one registered experiment with an :class:`OrderWitness`
+    attached and return ``(witness, result)``.  Same lazy-import
+    contract as :func:`sanitize_experiment`."""
+    from ..experiments.registry import run_experiment
+    from ..obs import Instrument
+
+    bus = Instrument()
+    witness = OrderWitness().attach(bus)
+    result = run_experiment(name, quick=quick, seed=seed, obs=bus)
+    return witness, result

@@ -12,6 +12,10 @@
     python -m repro throughput --lock ticket --threads 8 --size 64
     python -m repro lint                     # simlint over src/repro
     python -m repro lint --list-rules        # rule catalogue
+    python -m repro lint --format json       # machine-readable findings
+    python -m repro deadcheck src            # lock-order / deadlock analysis
+    python -m repro deadcheck --order-witness fig_vci --quick
+                                             # diff static edges vs runtime
     python -m repro sanitize fig2 --quick    # lockset-sanitize fig2a+fig2b
     python -m repro ablate --experiments fig2 --jobs 2 --report
                                              # component ablation matrix
@@ -188,7 +192,74 @@ def _cmd_lint(args) -> int:
     except LintError as exc:
         print(f"simlint: error: {exc}", file=sys.stderr)
         return 2
-    print(format_findings(findings))
+    if args.format == "json":
+        from .check.lint import format_findings_json
+
+        out = format_findings_json(findings)
+        if out:
+            print(out)
+    else:
+        print(format_findings(findings))
+    return 1 if findings else 0
+
+
+def _cmd_deadcheck(args) -> int:
+    from .check.deadcheck import (
+        DeadcheckError,
+        classify_witness,
+        format_report,
+        run_deadcheck,
+    )
+    from .check.lint import format_findings_json
+
+    paths = args.paths
+    if not paths:
+        import repro
+
+        paths = [str(next(iter(repro.__path__)))]
+    try:
+        result = run_deadcheck(paths, exclude=args.exclude or ())
+    except DeadcheckError as exc:
+        print(f"deadcheck: error: {exc}", file=sys.stderr)
+        return 2
+    findings = list(result.findings)
+    witness_lines = []
+    if args.order_witness:
+        from .check.sanitize import run_order_witness
+
+        names = select_experiments(args.order_witness)
+        if not names:
+            print(f"unknown experiment {args.order_witness!r}; "
+                  "try `python -m repro list`", file=sys.stderr)
+            return 2
+        runtime_edges = {}
+        for name in names:
+            witness, _res = run_order_witness(
+                name, quick=not args.paper, seed=args.seed,
+            )
+            for edge, n in witness.edges.items():
+                runtime_edges[edge] = runtime_edges.get(edge, 0) + n
+        findings.extend(classify_witness(result, runtime_edges))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        witness_lines.append(
+            f"order witness over {', '.join(names)}: "
+            f"{len(runtime_edges)} distinct runtime edge(s)"
+        )
+        for held, acq in result.confirmed:
+            witness_lines.append(f"  confirmed:    {held} -> {acq} "
+                                 f"(seen {runtime_edges[(held, acq)]}x)")
+        for held, acq in result.unwitnessed:
+            witness_lines.append(f"  unwitnessed:  {held} -> {acq}")
+        for held, acq in result.runtime_only:
+            witness_lines.append(f"  RUNTIME-ONLY: {held} -> {acq}")
+    if args.format == "json":
+        out = format_findings_json(findings)
+        if out:
+            print(out)
+    else:
+        for line in witness_lines:
+            print(line)
+        print(format_report(result, findings))
     return 1 if findings else 0
 
 
@@ -347,7 +418,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated subset of rules to run")
     lint_p.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    lint_p.add_argument("--format", choices=("text", "json"), default="text",
+                        help="json emits one {path,line,col,rule,message} "
+                             "record per finding (machine-readable)")
     lint_p.set_defaults(fn=_cmd_lint)
+
+    dc = sub.add_parser(
+        "deadcheck",
+        help="run deadcheck, the interprocedural lock-order / deadlock "
+             "analyzer (optionally diffed against a runtime witness)")
+    dc.add_argument("paths", nargs="*",
+                    help="files/directories to analyze (default: the "
+                         "installed repro package sources)")
+    dc.add_argument("--exclude", action="append", default=[], metavar="DIR",
+                    help="skip this directory during directory walks "
+                         "(repeatable; e.g. tests/check/fixtures)")
+    dc.add_argument("--format", choices=("text", "json"), default="text",
+                    help="json emits one {path,line,col,rule,message} "
+                         "record per finding (machine-readable)")
+    dc.add_argument("--order-witness", default=None, metavar="EXPT",
+                    help="also run this experiment (name, prefix or 'all') "
+                         "with the order witness attached and classify "
+                         "every static lock-order edge as confirmed/"
+                         "unwitnessed; runtime-only edges become "
+                         "order-witness-gap findings")
+    dc_mode = dc.add_mutually_exclusive_group()
+    dc_mode.add_argument("--quick", action="store_true",
+                         help="reduced witness sweep sizes (the default)")
+    dc_mode.add_argument("--paper", action="store_true",
+                         help="paper-scale witness parameters (slow)")
+    dc.add_argument("--seed", type=int, default=0,
+                    help="witness RNG seed (default 0, matching "
+                         "run_experiment's default)")
+    dc.set_defaults(fn=_cmd_deadcheck)
 
     san_p = sub.add_parser(
         "sanitize",

@@ -58,6 +58,11 @@ class ProgressWatchdog:
         #: enough for a degraded-mode controller (:mod:`repro.robust`)
         #: to start shedding load and perhaps avert the stall.
         self.on_warning: list = []
+        #: Diagnostic providers: zero-arg callables returning a dict
+        #: merged into the stall dump (the deadlock detector adds its
+        #: waits-for cycles here, so a post-mortem shows *who* waits on
+        #: *what*, not just frozen counters).
+        self.diagnostic_hooks: list = []
         self._proc = None
         #: The pending interval timer (cancellable), None between samples.
         self._pending = None
@@ -169,6 +174,8 @@ class ProgressWatchdog:
                 "domains": domains,
             })
         diag = {"t_s": sim.now, "ranks": ranks}
+        for hook in self.diagnostic_hooks:
+            diag.update(hook())
         obs = sim.obs
         if obs is not None and obs.wants("fault"):
             obs.instant("fault", "watchdog.stall", args={"t_s": sim.now})

@@ -15,8 +15,9 @@ the two NUMA effects the paper analyses.
 from __future__ import annotations
 
 import enum
+import re
 from itertools import count
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..machine.costs import NS, CostModel
 from ..machine.threads import ThreadCtx
@@ -74,6 +75,10 @@ class SimLock:
         self._prev_owner_core: Optional[Core] = None
         #: Hooks ``cb(lock, ctx)`` invoked on every successful acquisition.
         self.on_grant: List[Callable] = []
+        #: Witness family override for deadcheck's order-witness diff
+        #: (e.g. ``"PriorityTicketLock.ticket_h"`` on the priority
+        #: lock's inner tickets); None derives one from ``name``.
+        self.order_class: Optional[str] = None
         # Keyed by name (stable across runs), not the global lock_id:
         # experiment results must not depend on what ran earlier in the
         # process.
@@ -105,6 +110,36 @@ class SimLock:
     def n_contenders(self) -> int:
         """Threads currently inside acquire() (including an owner-to-be)."""
         return len(self._contenders)
+
+    # ------------------------------------------------------------------
+    # Introspection (deadcheck's runtime half)
+    # ------------------------------------------------------------------
+    def waiting_threads(self) -> Tuple[ThreadCtx, ...]:
+        """Threads inside ``acquire`` not yet granted -- the waits-for
+        graph's thread->lock edges.  Deterministic (tid order)."""
+        return tuple(
+            self._contenders[tid] for tid in sorted(self._contenders)
+        )
+
+    def sub_locks(self) -> Tuple["SimLock", ...]:
+        """Component locks of a composed protocol (the priority lock's
+        three tickets).  Used to (a) traverse composed wait queues and
+        (b) drop composition-internal pairs from order-edge witnesses:
+        a grant of the composite with its own tickets held is protocol
+        structure, not an application ordering."""
+        return ()
+
+    @property
+    def witness_family(self) -> str:
+        """Stable identity for order-witness matching: the static
+        analysis cannot see ranks or shard indices, so runtime edges
+        are compared by name with the per-instance decorations
+        (``@rankN``, ``.dM`` shard suffix, ``#id``) stripped."""
+        if self.order_class is not None:
+            return self.order_class
+        fam = re.sub(r"@rank\d+", "", self.name)
+        fam = re.sub(r"\.d\d+", "", fam)
+        return re.sub(r"#\d+", "", fam)
 
     def contention_factor(self) -> float:
         """Slowdown multiplier for the current holder's in-CS work.
@@ -210,6 +245,38 @@ class SimLock:
                 )
         self._prev_owner_core = ctx.core
         del self._contenders[ctx.tid]
+        if obs is not None and len(ctx.held) > 1 and obs.wants("check"):
+            # Order witness: this grant happened while the thread held
+            # other locks -- a runtime lock-order edge held -> self.
+            # Excluded from the held side: (a) composition internals
+            # (granting the priority composite while its own tickets
+            # are held is protocol structure, not an ordering between
+            # two guards) and (b) allow_owner_reentry locks -- their
+            # ownership belongs to a priority *class* and outlives the
+            # thread's logical critical section (the B ticket lingers
+            # in ctx.held across composite rounds), so "this thread
+            # holds it" is not a valid order assertion.
+            subs = self.sub_locks()
+            held = [
+                lk for lk in ctx.held
+                if lk is not self
+                and not lk.allow_owner_reentry
+                and (not subs or lk not in subs)
+            ]
+            if held:
+                obs.instant(
+                    "check", "order.edge",
+                    rank=ctx.rank if ctx.rank is not None else -1,
+                    tid=ctx.tid,
+                    args={
+                        "held": tuple(sorted(
+                            lk.witness_family for lk in held
+                        )),
+                        "held_names": tuple(sorted(lk.name for lk in held)),
+                        "acquired": self.witness_family,
+                        "acquired_name": self.name,
+                    },
+                )
         for cb in self.on_grant:
             cb(self, ctx)
 

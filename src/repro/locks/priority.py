@@ -47,8 +47,18 @@ class PriorityTicketLock(SimLock):
         # The B ticket is held on behalf of the high-priority *class*;
         # its owner marker may go stale, so owner-reentry must queue.
         self.ticket_b.allow_owner_reentry = True
+        # Witness families match deadcheck's static identities for
+        # ``self.ticket_*`` acquires in this class, so runtime
+        # H-before-B / L-before-B edges confirm the static graph
+        # regardless of rank/shard decorations in the instance names.
+        self.ticket_h.order_class = "PriorityTicketLock.ticket_h"
+        self.ticket_l.order_class = "PriorityTicketLock.ticket_l"
+        self.ticket_b.order_class = "PriorityTicketLock.ticket_b"
         self.already_blocked = False
         self._holder_prio: Dict[int, Priority] = {}
+
+    def sub_locks(self):
+        return (self.ticket_h, self.ticket_l, self.ticket_b)
 
     # ------------------------------------------------------------------
     def acquire(self, ctx: ThreadCtx, priority: Priority = Priority.HIGH):

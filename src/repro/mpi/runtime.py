@@ -920,7 +920,7 @@ class MpiRuntime:
                 # request completes (no sim time passes between this
                 # check and the wait, so no wake-up can be missed).
                 self.parked_waiters += 1
-                yield self._activity.wait()
+                yield self._activity.wait(ctx)
                 self.parked_waiters -= 1
                 yield self.sim.timeout(self.costs.event_wakeup)
             else:
@@ -1011,7 +1011,7 @@ class MpiRuntime:
                         rank=self.rank,
                     )
                 self.parked_waiters += 1
-                yield self._activity.wait()
+                yield self._activity.wait(ctx)
                 self.parked_waiters -= 1
                 yield self.sim.timeout(self.costs.event_wakeup)
                 continue

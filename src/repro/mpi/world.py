@@ -183,6 +183,12 @@ class Cluster:
         self.lock_traces: Dict[int, LockTrace] = {}
         self._progress_ctxs: List[ThreadCtx] = []
         self._shutdown = False
+        #: Idle-stall hook: called (no args) when the simulation runs
+        #: out of events with the stop condition still pending -- i.e.
+        #: live threads exist but none can move.  The deadlock detector
+        #: (:class:`repro.check.sanitize.DeadlockDetector`) checks the
+        #: waits-for graph here; the original error still propagates.
+        self.on_idle_stall = None
 
         # Fault machinery.  An inactive plan installs *nothing*: no
         # injector, no watchdog, no extra events -- the determinism
@@ -301,7 +307,7 @@ class Cluster:
             while not self._shutdown:
                 yield from rt.progress_poke(ctx)
                 if cfg.event_driven_wait and not rt.nic.has_packets():
-                    yield rt._activity.wait()
+                    yield rt._activity.wait(ctx)
                     yield self.sim.timeout(rt.costs.event_wakeup)
                 else:
                     yield self.sim.timeout(rt.costs.progress_gap)
@@ -346,6 +352,11 @@ class Cluster:
             cause = exc.__cause__
             if isinstance(cause, ProgressStallError):
                 raise cause from None
+            if self.on_idle_stall is not None:
+                # Out of events with threads still live: let the
+                # deadlock detector dump who waits on what before the
+                # generic error propagates.
+                self.on_idle_stall()
             raise
 
     def run_workload(self, generators, name: str = "workload") -> list:

@@ -22,18 +22,29 @@ __all__ = [
 class Signal:
     """A re-armable broadcast: ``wait()`` returns an event fired by ``fire()``."""
 
-    __slots__ = ("sim", "name", "_event")
+    __slots__ = ("sim", "name", "_event", "_waiters")
 
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
         self.name = name
         self._event = sim.event(name=name)
+        #: Parked ThreadCtx's registered via ``wait(ctx=...)`` -- pure
+        #: introspection for the deadlock detector's waits-for graph
+        #: (cleared on fire; never touches simulator state).
+        self._waiters: list = []
 
-    def wait(self) -> Event:
+    @property
+    def waiters(self) -> tuple:
+        return tuple(self._waiters)
+
+    def wait(self, ctx: Any = None) -> Event:
+        if ctx is not None:
+            self._waiters.append(ctx)
         return self._event
 
     def fire(self, value: Any = None) -> None:
         ev, self._event = self._event, self.sim.event(name=self.name)
+        del self._waiters[:]
         ev.succeed(value)
 
 
@@ -95,12 +106,19 @@ class CompletionLatch:
         if self._signal is not None:
             self._signal.fire()
 
-    def wait(self) -> Event:
-        """An event fired at the next completion (arms the signal)."""
-        if self._signal is not None:
-            return self._signal.wait()
-        self._signal = Signal(self.sim, name=self.name or "latch")
-        return self._signal.wait()
+    def wait(self, ctx: Any = None) -> Event:
+        """An event fired at the next completion (arms the signal).
+
+        ``ctx`` optionally registers the parked thread for waits-for
+        introspection (see :attr:`Signal.waiters`)."""
+        if self._signal is None:
+            self._signal = Signal(self.sim, name=self.name or "latch")
+        return self._signal.wait(ctx)
+
+    @property
+    def waiters(self) -> tuple:
+        """Parked threads registered through ``wait(ctx=...)``."""
+        return self._signal.waiters if self._signal is not None else ()
 
 
 class SimBarrier:

@@ -1,0 +1,18 @@
+"""Trigger fixture: continuation callbacks that need call-graph
+resolution -- a bound ``self`` method and a locally-defined ``def`` --
+each reaching a blocking op."""
+
+
+class Retrier:
+    def _resend(self, req):
+        req.runtime.waitall(req.ctx, [req])
+
+    def install(self, req):
+        req.attach_continuation(self._resend)
+
+
+def install_local(req, rt, ctx, reqs):
+    def on_done(_r):
+        rt.waitany(ctx, reqs)
+
+    req.attach_continuation(on_done)

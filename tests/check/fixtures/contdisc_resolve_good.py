@@ -1,0 +1,17 @@
+"""Clean fixture: callbacks resolved through the call graph that stay
+non-blocking (state flips and list appends only)."""
+
+
+class Notifier:
+    def _mark(self, req):
+        req.done = True
+
+    def install(self, req):
+        req.attach_continuation(self._mark)
+
+
+def install_local(req, log):
+    def on_done(r):
+        log.append(r)
+
+    req.attach_continuation(on_done)

@@ -1,0 +1,21 @@
+"""Trigger fixture (deadcheck): a blocking wait two calls deep while a
+lock acquired by the entry function is still held.
+
+Neither intermediate function touches the lock, so an intraprocedural
+scan sees nothing -- only the call-graph splice pairs the entry's held
+set with the leaf's ``wait``.
+"""
+
+
+def _park(ctx, latch):
+    yield from latch.wait()
+
+
+def _drain(ctx, latch):
+    yield from _park(ctx, latch)
+
+
+def entry(ctx, dom_lock, latch):
+    yield from dom_lock.acquire(ctx)
+    yield from _drain(ctx, latch)
+    dom_lock.release(ctx)

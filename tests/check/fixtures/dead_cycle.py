@@ -1,0 +1,19 @@
+"""Trigger fixture (deadcheck): classic ABBA lock-order cycle.
+
+Two entry points take the same pair of locks in opposite orders; a
+thread in each can hold what the other waits for.
+"""
+
+
+def path_one(ctx, lock_a, lock_b):
+    yield from lock_a.acquire(ctx)
+    yield from lock_b.acquire(ctx)
+    lock_b.release(ctx)
+    lock_a.release(ctx)
+
+
+def path_two(ctx, lock_a, lock_b):
+    yield from lock_b.acquire(ctx)
+    yield from lock_a.acquire(ctx)
+    lock_a.release(ctx)
+    lock_b.release(ctx)

@@ -1,0 +1,29 @@
+"""Clean fixture (deadcheck): a would-be ABBA cycle broken by a
+``try/finally`` release.
+
+``first`` releases ``lock_a`` in a ``finally`` before the helper that
+acquires ``lock_b`` runs, so the only surviving edge is
+``lock_b -> lock_a`` from ``second`` -- no cycle.  An analysis that
+ignores must-release facts would report a deadlock here.
+"""
+
+
+def _grab_b(ctx, lock_b):
+    yield from lock_b.acquire(ctx)
+    lock_b.release(ctx)
+
+
+def first(ctx, lock_a, lock_b):
+    yield from lock_a.acquire(ctx)
+    try:
+        ctx.work()
+    finally:
+        lock_a.release(ctx)
+    yield from _grab_b(ctx, lock_b)
+
+
+def second(ctx, lock_a, lock_b):
+    yield from lock_b.acquire(ctx)
+    yield from lock_a.acquire(ctx)
+    lock_a.release(ctx)
+    lock_b.release(ctx)

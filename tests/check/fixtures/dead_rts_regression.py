@@ -1,0 +1,26 @@
+"""Regression fixture (deadcheck): the PR-9 ablation deadlock shape.
+
+A rendezvous send parks on a CTS latch while still holding the
+arbitration-domain lock, with the wait buried two ``self``-method calls
+deep.  Finding this requires resolving ``self._await_cts`` ->
+``self._retry_rts`` through the class body and scoping
+``self.dom_lock`` to the class -- exactly what the PR-9 bug needed and
+what an intraprocedural rule cannot see.
+"""
+
+
+class RtsSender:
+    def __init__(self, dom_lock, cts_latch):
+        self.dom_lock = dom_lock
+        self.cts_latch = cts_latch
+
+    def _retry_rts(self, ctx):
+        yield from self.cts_latch.wait()
+
+    def _await_cts(self, ctx):
+        yield from self._retry_rts(ctx)
+
+    def send_rendezvous(self, ctx):
+        yield from self.dom_lock.acquire(ctx)
+        yield from self._await_cts(ctx)
+        self.dom_lock.release(ctx)

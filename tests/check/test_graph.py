@@ -1,0 +1,252 @@
+"""The shared call-graph layer: what resolves, what safely does not,
+and the suppression-comment grammar both tools share."""
+
+import ast
+
+import pytest
+
+from repro.check.graph import (
+    CallGraph,
+    GraphError,
+    SourceModule,
+    iter_py_files,
+    load_module,
+    module_name_for,
+)
+from repro.check.lint import Finding
+
+
+def build(**modules):
+    """CallGraph over ``{modname: source}`` (no filesystem involved)."""
+    g = CallGraph()
+    for modname, src in modules.items():
+        g.add_module(SourceModule(f"{modname}.py", src, modname=modname))
+    g.finalize()
+    return g
+
+
+def calls_in(g, fn_key):
+    """(call node, resolved FunctionInfo or None) for every call in
+    ``fn_key``, in source order."""
+    fi = g.functions[fn_key]
+    out = []
+    for node in ast.walk(fi.node):
+        if isinstance(node, ast.Call):
+            out.append((node, g.resolve_call(node, fi)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Resolution
+# ----------------------------------------------------------------------
+def test_module_function_and_import_resolution():
+    g = build(
+        **{
+            "pkg.a": "def helper():\n    pass\n",
+            "pkg.b": (
+                "from pkg.a import helper\n"
+                "from .a import helper as relative_alias\n"
+                "def caller():\n"
+                "    helper()\n"
+                "    relative_alias()\n"
+            ),
+        }
+    )
+    resolved = [fi for _c, fi in calls_in(g, "pkg.b.caller")]
+    assert [fi.key for fi in resolved] == ["pkg.a.helper", "pkg.a.helper"]
+
+
+def test_self_method_resolves_through_cross_module_base():
+    g = build(
+        **{
+            "pkg.base": (
+                "class Base:\n"
+                "    def shared(self):\n"
+                "        pass\n"
+            ),
+            "pkg.derived": (
+                "from pkg.base import Base\n"
+                "class Child(Base):\n"
+                "    def go(self):\n"
+                "        self.shared()\n"
+                "        self.missing()\n"
+            ),
+        }
+    )
+    resolved = calls_in(g, "pkg.derived.Child.go")
+    assert resolved[0][1].key == "pkg.base.Base.shared"
+    assert resolved[1][1] is None  # not defined anywhere: never a guess
+
+
+def test_nested_defs_resolve_through_lexical_scope_chain():
+    g = build(
+        mod=(
+            "def outer():\n"
+            "    def inner():\n"
+            "        pass\n"
+            "    def middle():\n"
+            "        inner()\n"
+            "    middle()\n"
+        )
+    )
+    assert "mod.outer.<locals>.inner" in g.functions
+    (_c, mid) = calls_in(g, "mod.outer")[0]
+    assert mid.key == "mod.outer.<locals>.middle"
+    (_c, inn) = calls_in(g, "mod.outer.<locals>.middle")[0]
+    assert inn.key == "mod.outer.<locals>.inner"
+
+
+def test_constructor_classmethod_and_attr_type_inference():
+    g = build(
+        mod=(
+            "class Engine:\n"
+            "    def __init__(self):\n"
+            "        pass\n"
+            "    def start(self):\n"
+            "        pass\n"
+            "class Holder:\n"
+            "    def __init__(self):\n"
+            "        self.engine = Engine()\n"
+            "    def go(self):\n"
+            "        self.engine.start()\n"
+            "def make():\n"
+            "    Engine()\n"
+            "    Engine.start(None)\n"
+        )
+    )
+    resolved = [fi for _c, fi in calls_in(g, "mod.make")]
+    assert resolved[0].key == "mod.Engine.__init__"
+    assert resolved[1].key == "mod.Engine.start"
+    # self.engine.start() via the inferred attribute type.
+    inner = [fi for _c, fi in calls_in(g, "mod.Holder.go")]
+    assert inner[0].key == "mod.Engine.start"
+
+
+def test_module_alias_attribute_chain():
+    g = build(
+        **{
+            "pkg.a": "def fn():\n    pass\n",
+            "pkg.b": (
+                "from pkg import a\n"
+                "def caller():\n"
+                "    a.fn()\n"
+            ),
+        }
+    )
+    (_c, fi) = calls_in(g, "pkg.b.caller")[0]
+    assert fi.key == "pkg.a.fn"
+
+
+def test_resolve_callable_handles_bare_callback_expressions():
+    # The continuation-discipline rule passes callback *expressions*
+    # (not calls): self.method and a local name must both resolve.
+    g = build(
+        mod=(
+            "class C:\n"
+            "    def cb(self, r):\n"
+            "        pass\n"
+            "    def install(self, req):\n"
+            "        req.attach(self.cb)\n"
+            "def installer(req):\n"
+            "    def on_done(r):\n"
+            "        pass\n"
+            "    req.attach(on_done)\n"
+        )
+    )
+    install = g.functions["mod.C.install"]
+    attach_arg = install.node.body[0].value.args[0]
+    assert g.resolve_callable(attach_arg, install).key == "mod.C.cb"
+    installer = g.functions["mod.installer"]
+    arg = installer.node.body[1].value.args[0]
+    assert g.resolve_callable(arg, installer).key == (
+        "mod.installer.<locals>.on_done"
+    )
+
+
+# ----------------------------------------------------------------------
+# Suppression grammar (shared by simlint and deadcheck)
+# ----------------------------------------------------------------------
+def _mod(line):
+    return SourceModule("x.py", f"import os  {line}\n", modname="x")
+
+
+def _finding(rule, line=1):
+    return Finding("x.py", line, 0, rule, "")
+
+
+def test_suppression_comma_separated_rules():
+    mod = _mod("# simcheck: disable=wall-clock, unseeded-rng")
+    assert not mod.allows(_finding("wall-clock"))
+    assert not mod.allows(_finding("unseeded-rng"))
+    assert mod.allows(_finding("lock-pairing"))
+
+
+def test_suppression_all_silences_every_rule():
+    mod = _mod("# simcheck: disable=all")
+    assert not mod.allows(_finding("wall-clock"))
+    assert not mod.allows(_finding("lock-order-cycle"))
+
+
+def test_suppression_with_trailing_comment():
+    mod = _mod("# simcheck: disable=wall-clock  # justified: fixture")
+    assert not mod.allows(_finding("wall-clock"))
+    assert mod.allows(_finding("unseeded-rng"))
+
+
+def test_suppression_unknown_rule_suppresses_nothing():
+    # An unknown name in a disable list is inert -- the real finding
+    # still fires and nothing crashes.
+    mod = _mod("# simcheck: disable=no-such-rule")
+    assert mod.allows(_finding("wall-clock"))
+
+
+def test_suppression_is_line_scoped():
+    mod = _mod("# simlint: disable=wall-clock")
+    assert mod.allows(_finding("wall-clock", line=2))
+
+
+def test_both_tool_prefixes_are_interchangeable():
+    assert not _mod("# simlint: disable=x-rule").allows(_finding("x-rule"))
+    assert not _mod("# simcheck: disable=x-rule").allows(_finding("x-rule"))
+
+
+# ----------------------------------------------------------------------
+# File walking / loading (the shared exit-code-2 machinery)
+# ----------------------------------------------------------------------
+def test_module_name_for_walks_packages(tmp_path):
+    pkg = tmp_path / "top" / "sub"
+    pkg.mkdir(parents=True)
+    (tmp_path / "top" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "leaf.py").write_text("")
+    assert module_name_for(pkg / "leaf.py") == "top.sub.leaf"
+    assert module_name_for(pkg / "__init__.py") == "top.sub"
+    loose = tmp_path / "loose.py"
+    loose.write_text("")
+    assert module_name_for(loose) == "loose"
+
+
+def test_iter_py_files_missing_path_raises():
+    with pytest.raises(GraphError, match="no such file"):
+        list(iter_py_files(["definitely/not/here.py"]))
+
+
+def test_iter_py_files_exclude_skips_subtree(tmp_path):
+    keep = tmp_path / "keep.py"
+    keep.write_text("")
+    skipdir = tmp_path / "skipme"
+    skipdir.mkdir()
+    (skipdir / "dropped.py").write_text("")
+    got = list(iter_py_files([str(tmp_path)], exclude=[str(skipdir)]))
+    assert got == [keep]
+
+
+def test_load_module_diagnoses_unreadable_and_unparseable(tmp_path):
+    binary = tmp_path / "binary.py"
+    binary.write_bytes(b"\xff\xfe\x00 not utf-8")
+    with pytest.raises(GraphError, match="cannot read"):
+        load_module(binary)
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    with pytest.raises(GraphError, match="cannot parse"):
+        load_module(broken)

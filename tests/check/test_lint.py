@@ -95,6 +95,29 @@ def test_contdisc_deadline_good_fixture_is_clean():
     assert findings == [], format_findings(findings)
 
 
+def test_contdisc_resolves_self_methods_and_local_defs():
+    # Satellite of the call-graph layer: callbacks registered as
+    # ``self.method`` or a locally-defined ``def`` resolve to their
+    # definitions, so blocking ops inside them are caught.
+    findings = run_lint(
+        [str(FIXTURES / "contdisc_resolve_bad.py")],
+        select=["continuation-discipline"],
+    )
+    assert len(findings) == 2
+    msgs = " | ".join(f.message for f in findings)
+    assert "'waitall'" in msgs and "'waitany'" in msgs
+
+
+def test_contdisc_resolve_good_fixture_is_clean():
+    findings = run_lint([str(FIXTURES / "contdisc_resolve_good.py")])
+    assert findings == [], format_findings(findings)
+
+
+def test_contdisc_resolve_fixtures_trigger_only_their_own_rule():
+    findings = run_lint([str(FIXTURES / "contdisc_resolve_bad.py")])
+    assert {f.rule for f in findings} == {"continuation-discipline"}
+
+
 def test_suppression_comments_silence_findings():
     findings = run_lint([str(FIXTURES / "suppressed.py")])
     assert findings == [], format_findings(findings)
@@ -126,6 +149,20 @@ def test_bad_path_raises():
         run_lint([str(FIXTURES / "missing.py")])
 
 
+def test_unreadable_file_is_a_diagnostic_not_a_traceback(tmp_path):
+    p = tmp_path / "binary.py"
+    p.write_bytes(b"\xff\xfe\x00 not utf-8")
+    with pytest.raises(LintError, match="cannot read"):
+        run_lint([str(p)])
+
+
+def test_syntax_error_is_a_diagnostic_not_a_traceback(tmp_path):
+    p = tmp_path / "broken.py"
+    p.write_text("def oops(:\n")
+    with pytest.raises(LintError, match="cannot parse"):
+        run_lint([str(p)])
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
@@ -155,6 +192,38 @@ def test_cli_lint_exclude_skips_directory(capsys):
     assert main(["lint", root]) == 1
     capsys.readouterr()
     assert main(["lint", root, "--exclude", str(FIXTURES)]) == 0
+
+
+def test_cli_lint_exit_two_on_unreadable_and_broken_files(tmp_path, capsys):
+    binary = tmp_path / "binary.py"
+    binary.write_bytes(b"\xff\xfe junk")
+    assert main(["lint", str(binary)]) == 2
+    assert "cannot read" in capsys.readouterr().err
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    assert main(["lint", str(broken)]) == 2
+    assert "cannot parse" in capsys.readouterr().err
+
+
+def test_cli_lint_json_format(capsys):
+    import json
+
+    assert main(
+        ["lint", "--format", "json", str(FIXTURES / "rng_bad.py")]
+    ) == 1
+    lines = capsys.readouterr().out.strip().splitlines()
+    records = [json.loads(ln) for ln in lines]
+    assert records
+    for rec in records:
+        assert set(rec) == {"path", "line", "col", "rule", "message"}
+    assert {r["rule"] for r in records} == {"unseeded-rng"}
+
+
+def test_cli_lint_json_clean_prints_nothing(capsys):
+    assert main(
+        ["lint", "--format", "json", str(FIXTURES / "rng_good.py")]
+    ) == 0
+    assert capsys.readouterr().out.strip() == ""
 
 
 def test_cli_lint_list_rules(capsys):
